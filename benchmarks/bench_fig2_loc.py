@@ -1,0 +1,23 @@
+"""Figure 2: sizes of EnGarde's components.
+
+The paper's Figure 2 is a lines-of-code inventory.  This benchmark
+regenerates it for this repository (timing the inventory pass itself) and
+prints the paper-vs-ours table.
+"""
+
+from __future__ import annotations
+
+from repro.harness.loc import component_loc, render_loc_table
+
+from conftest import record_table
+
+
+def test_fig2_component_inventory(benchmark):
+    table = benchmark.pedantic(component_loc, rounds=3, iterations=1)
+
+    # sanity: every paper component maps to real code here
+    assert all(ours > 0 for _paper, ours in table.values())
+    for name, (paper, ours) in table.items():
+        benchmark.extra_info[name] = ours
+
+    record_table(render_loc_table())

@@ -1,0 +1,58 @@
+"""Figure 4: EnGarde checking the stack-protection policy.
+
+Workloads are compiled with the stack-protector pass (the clang
+``-fstack-protector-all`` analogue), then provisioned under the policy
+that verifies the canary instrumentation.  The headline shape to
+preserve: 401.bzip2's policy-checking cost *exceeds* Nginx's despite ~11x
+fewer instructions, because the check is super-linear in function size
+and bzip2 is a few huge compression kernels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import run_cell
+from repro.harness.tables import PAPER_DATA, render_comparison, render_figure
+from repro.toolchain.workloads import PAPER_BENCHMARKS
+
+from conftest import SCALE, record_table
+
+POLICY = "stack-protection"
+_results = []
+
+
+@pytest.mark.parametrize("bench", PAPER_BENCHMARKS)
+def test_fig4_cell(benchmark, bench):
+    cell = benchmark.pedantic(
+        run_cell, args=(bench, POLICY), kwargs={"scale": SCALE},
+        rounds=1, iterations=1,
+    )
+    assert cell.accepted, f"{bench} (instrumented) must pass"
+    paper = PAPER_DATA[4][bench]
+    benchmark.extra_info.update({
+        "insns": cell.insn_count,
+        "disassembly_cycles": cell.disassembly_cycles,
+        "policy_cycles": cell.policy_cycles,
+        "loading_cycles": cell.loading_cycles,
+        "paper_insns": paper[0],
+        "ratio_policy": round(cell.policy_cycles / paper[2], 3),
+    })
+    _results.append(cell)
+
+    if SCALE >= 0.99 and len(_results) == len(PAPER_BENCHMARKS):
+        by_name = {c.benchmark: c for c in _results}
+        # The Figure 4 anomaly: bzip2 > nginx in absolute policy cycles.
+        assert (by_name["bzip2"].policy_cycles
+                > by_name["nginx"].policy_cycles * 0.8), (
+            "bzip2's super-linear cost should rival/exceed nginx's"
+        )
+        # Instrumented #Inst grew relative to the plain build, matching
+        # the Figure 3 -> Figure 4 column change direction.
+        for name, cell_ in by_name.items():
+            assert cell_.insn_count >= PAPER_DATA[3][name][0] - 60
+
+    if len(_results) == len(PAPER_BENCHMARKS):
+        record_table(render_figure(_results, "Figure 4: stack-protection policy"))
+        if SCALE >= 0.99:
+            record_table(render_comparison(_results, figure=4))

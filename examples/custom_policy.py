@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Writing your own policy module.
+
+EnGarde's architecture "supports plugging in policy modules" (section 3):
+a module sees the decoded instruction buffer + symbol hash table and
+returns a verdict.  This example adds two custom policies beyond the
+paper's three:
+
+* **NoSyscallPolicy** — enclave code cannot invoke OS services (section
+  2), so any ``syscall``/``int3``/``hlt`` instruction in the binary is a
+  red flag: it would fault at runtime, or worse, is a probe.
+* **FunctionSizeBudgetPolicy** — an SLA-style resource bound: no function
+  may exceed N instructions (say, to bound the provider's own analysis
+  costs).
+
+Run:  python examples/custom_policy.py
+"""
+
+from repro.core import (
+    CloudProvider,
+    EnclaveClient,
+    PolicyRegistry,
+    provision,
+)
+from repro.core.policy import PolicyContext, PolicyModule, PolicyResult
+from repro.sgx import SgxParams
+from repro.toolchain import (
+    Compiler, CompilerFlags, FunctionSpec, ProgramSpec, build_libc, link,
+)
+from repro.x86 import Assembler, RAX
+
+
+class NoSyscallPolicy(PolicyModule):
+    """Reject binaries containing syscall/int3/hlt instructions."""
+
+    name = "no-syscall"
+    FORBIDDEN = ("syscall", "int3", "hlt")
+
+    def check(self, ctx: PolicyContext) -> PolicyResult:
+        result = self.result()
+        ctx.meter.charge("policy_scan_insn", len(ctx.instructions))
+        for insn in ctx.instructions:
+            if insn.mnemonic in self.FORBIDDEN:
+                result.add_violation(
+                    f"{insn.mnemonic} at +{insn.offset:#x}: enclave code "
+                    "cannot invoke OS services"
+                )
+        result.stats["instructions_scanned"] = len(ctx.instructions)
+        return result
+
+
+class FunctionSizeBudgetPolicy(PolicyModule):
+    """Reject binaries with any function larger than the agreed budget."""
+
+    name = "function-size-budget"
+
+    def __init__(self, max_instructions: int = 5_000,
+                 exempt: set[str] | frozenset[str] = frozenset()) -> None:
+        self.max_instructions = max_instructions
+        self.exempt = frozenset(exempt)
+
+    def check(self, ctx: PolicyContext) -> PolicyResult:
+        result = self.result()
+        for start, name in ctx.function_starts():
+            if name in self.exempt:
+                continue
+            first, last = ctx.function_extent(start)
+            size = last - first
+            if size > self.max_instructions:
+                result.add_violation(
+                    f"function {name!r} has {size} instructions "
+                    f"(budget {self.max_instructions})"
+                )
+        return result
+
+
+def build_client(with_syscall: bool, libc):
+    """A small app; optionally smuggle a syscall in via a handwritten fn."""
+    spec = ProgramSpec(
+        name="custom",
+        functions=[FunctionSpec("main", n_blocks=2, direct_calls=["memcpy"])],
+        libc_imports=["memcpy"],
+    )
+    program = Compiler(CompilerFlags()).compile(spec)
+    if with_syscall:
+        from repro.toolchain.codegen import CompiledFunction
+
+        asm = Assembler()
+        asm.mov_imm(60, RAX)  # exit(2)'s syscall number
+        asm.raw(b"\x0f\x05", 1)  # syscall
+        asm.ret()
+        program.functions.append(CompiledFunction(
+            name="sneaky_exit", code=asm.finish(),
+            insn_count=asm.instruction_count,
+        ))
+    return link(program, libc)
+
+
+def run_one(label: str, binary, policies) -> None:
+    provider = CloudProvider(
+        policies, params=SgxParams(epc_pages=2048, heap_initial_pages=64),
+        rsa_bits=1024, client_pages=64, enclave_pages=0x2000,
+    )
+    client = EnclaveClient(binary.elf, policies=policies, benchmark=label)
+    result = provision(provider, client)
+    verdict = "ACCEPT" if result.accepted else "reject"
+    detail = ""
+    for pr in result.outcome.policy_results:
+        if not pr.compliant:
+            detail = f"-> {pr.violations[0]}"
+    print(f"{label:<28} {verdict:<8} {detail}")
+
+
+def main() -> None:
+    libc = build_libc()
+    policies = PolicyRegistry([
+        NoSyscallPolicy(),
+        FunctionSizeBudgetPolicy(max_instructions=2_000,
+                                 exempt=set(libc.offsets)),
+    ])
+    print("policy set:", ", ".join(policies.names()), "\n")
+
+    run_one("clean client", build_client(False, libc), policies)
+    run_one("client with a syscall", build_client(True, libc), policies)
+
+    # And the size budget: a client with one huge function.
+    spec = ProgramSpec(
+        name="bloated",
+        functions=[
+            FunctionSpec("main", n_blocks=1, direct_calls=["huge"]),
+            FunctionSpec("huge", n_blocks=80, ops_per_block=(40, 40)),
+        ],
+    )
+    binary = link(Compiler(CompilerFlags()).compile(spec), libc)
+    run_one("client over size budget", binary, policies)
+
+    print("\nBoth custom modules plug into the same pipeline as the "
+          "paper's three;\nthe enclave measurement (and hence attestation) "
+          "covers the loaded policy set.")
+
+
+if __name__ == "__main__":
+    main()

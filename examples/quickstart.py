@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Quickstart: provision a policy-compliant enclave end to end.
+
+This walks the full EnGarde protocol from the paper (ICDCS 2017):
+
+1. the cloud provider and client agree on policies,
+2. the provider boots a fresh enclave containing EnGarde,
+3. SGX attestation proves to the client that exactly that EnGarde build
+   (policies included) is in the enclave, and binds the channel key to it,
+4. the client streams its binary over the encrypted channel,
+5. EnGarde disassembles, checks the policies, loads the image,
+6. the host pins W^X page permissions and seals the enclave.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    CloudProvider,
+    EnclaveClient,
+    IfccPolicy,
+    LibraryLinkingPolicy,
+    PolicyRegistry,
+    StackProtectionPolicy,
+    provision,
+)
+from repro.sgx import SgxParams
+from repro.toolchain import Compiler, CompilerFlags, FunctionSpec, ProgramSpec, build_libc, link
+
+
+def main() -> None:
+    print("=== EnGarde quickstart ===\n")
+
+    # -- 1. the agreed policy set ---------------------------------------
+    print("[1] Building the agreed policy set (all three paper policies)")
+    libc = build_libc()  # synthetic musl v1.0.5 + golden hash database
+    policies = PolicyRegistry([
+        LibraryLinkingPolicy(libc.reference_hashes()),
+        StackProtectionPolicy(exempt_functions=set(libc.offsets)),
+        IfccPolicy(),
+    ])
+    print(f"    policies: {', '.join(policies.names())}\n")
+
+    # -- 2. the client compiles its application -------------------------
+    print("[2] Client compiles its app with the required instrumentation")
+    spec = ProgramSpec(
+        name="hello-enclave",
+        functions=[
+            FunctionSpec("main", n_blocks=4,
+                         direct_calls=["handler", "memcpy", "printf"],
+                         indirect_calls=1),
+            FunctionSpec("handler", n_blocks=2, direct_calls=["strlen"],
+                         address_taken=True),
+            FunctionSpec("worker", n_blocks=2, address_taken=True),
+        ],
+        libc_imports=["memcpy", "printf", "strlen"],
+    )
+    flags = CompilerFlags(stack_protector=True, ifcc=True)
+    binary = link(Compiler(flags).compile(spec), libc)
+    print(f"    {binary.insn_count} instructions, "
+          f"{len(binary.elf):,} byte ELF PIE, "
+          f"{binary.relocation_count} relocation(s)\n")
+
+    # -- 3-6. the protocol ------------------------------------------------
+    print("[3] Provider boots the EnGarde enclave; client attests and "
+          "streams the binary")
+    provider = CloudProvider(
+        policies,
+        params=SgxParams(epc_pages=4096, heap_initial_pages=256),
+        rsa_bits=1024,
+        client_pages=64,
+        enclave_pages=0x2000,
+    )
+    client = EnclaveClient(binary.elf, policies=policies,
+                           benchmark="hello-enclave")
+    result = provision(provider, client)
+
+    print(f"    verdict: {'ACCEPTED' if result.accepted else 'REJECTED'}")
+    for pr in result.outcome.policy_results:
+        print(f"      - {pr.policy}: "
+              f"{'compliant' if pr.compliant else 'VIOLATION'} {pr.stats}")
+    print(f"    client's authenticated verdict matches: "
+          f"{result.client_verdict.compliant == result.report.compliant}\n")
+
+    # -- what the provider can and cannot see ----------------------------
+    print("[4] Provider-side view after provisioning")
+    loaded = result.outcome.loaded
+    print(f"    executable pages reported to host: "
+          f"{len(result.report.executable_pages)}")
+    print(f"    enclave sealed: {result.runtime.enclave.sealed}")
+    ct = provider.host.peek_enclave_memory(
+        result.runtime, result.report.executable_pages[0]
+    )
+    plain = result.runtime.enclave.read(result.report.executable_pages[0], 64)
+    print(f"    host's view of a code page (ciphertext): {ct[:16].hex()}...")
+    print(f"    actual enclave plaintext differs:        {plain[:16].hex()}...\n")
+
+    # -- the cost profile --------------------------------------------------
+    print("[5] Cycle accounting (the paper's three evaluation columns)")
+    meter = result.meter
+    for phase in ("disassembly", "policy", "loading"):
+        print(f"    {phase:12s} {meter.phase_cycles(phase):>12,} cycles")
+    print(f"    SGX instructions executed: {meter.sgx_instruction_count} "
+          f"(10,000 cycles each)")
+    print("\nDone: only policy-compliant code entered the enclave, and the "
+          "provider never saw a plaintext byte.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Running the provisioned enclave — watching the protections fire.
+
+The paper's EnGarde inspects statically and notes runtime enforcement as
+future work.  This reproduction includes that extension: an x86-64
+interpreter executes the loaded client image *inside* the simulated
+enclave, against EPC-permission-checked memory.  This demo shows three
+protections working at runtime:
+
+  1. a buffer overflow clobbers the stack canary -> the instrumentation
+     the stack-protection policy verified statically actually fires;
+  2. a corrupted function pointer escapes control flow without IFCC, but
+     is confined to the jump table with IFCC;
+  3. the sealed W^X pages block self-modification and data execution.
+
+Run:  python examples/runtime_protection_demo.py
+"""
+
+from repro.core import (
+    CloudProvider, EnclaveClient, EnclaveExecutor, IfccPolicy,
+    LibraryLinkingPolicy, PolicyRegistry, StackProtectionPolicy, provision,
+)
+from repro.sgx import SgxParams
+from repro.toolchain import (
+    Compiler, CompilerFlags, FunctionSpec, ProgramSpec, build_libc, link,
+)
+from repro.toolchain.codegen import CompiledFunction
+from repro.x86 import Assembler, Mem, RAX, RCX, RSP
+
+
+def make_provider(policies):
+    return CloudProvider(
+        policies, params=SgxParams(epc_pages=2048, heap_initial_pages=64),
+        rsa_bits=1024, client_pages=64, enclave_pages=0x2000,
+    )
+
+
+def provision_and_get(binary, policies):
+    result = provision(make_provider(policies), EnclaveClient(
+        binary.elf, policies=policies))
+    assert result.accepted, result.report
+    return result
+
+
+def overflowing_main() -> CompiledFunction:
+    """A main() whose 'buffer write' clobbers the canary at (%rsp)."""
+    asm = Assembler()
+    asm.alu_imm("sub", 24, RSP)
+    asm.mov_load(Mem(seg="fs", disp=0x28), RAX)   # canary prologue
+    asm.mov_store(RAX, Mem(base=RSP))
+    asm.mov_imm(0x4141414141414141, RCX)          # "AAAAAAAA" overflow
+    asm.mov_store(RCX, Mem(base=RSP))             # ...lands on the canary
+    fail = asm.label("fail")
+    asm.mov_load(Mem(seg="fs", disp=0x28), RAX)   # canary epilogue
+    asm.alu_load("cmp", Mem(base=RSP), RAX)
+    asm.jcc_label("jne", fail)
+    asm.alu_imm("add", 24, RSP)
+    asm.ret()
+    asm.bind(fail)
+    asm.call_symbol("__stack_chk_fail")
+    asm.ud2()
+    return CompiledFunction("main", asm.finish(), asm.instruction_count,
+                            list(asm.external_fixups))
+
+
+def main() -> None:
+    libc = build_libc()
+
+    # ------------------------------------------------------------------
+    print("[1] Stack smashing: the statically-verified canary fires")
+    spec = ProgramSpec(name="smash", functions=[FunctionSpec("main")])
+    program = Compiler(CompilerFlags(stack_protector=True)).compile(spec)
+    program.functions = [
+        overflowing_main() if f.name == "main" else f
+        for f in program.functions
+    ]
+    binary = link(program, libc)
+    policies = PolicyRegistry(
+        [StackProtectionPolicy(exempt_functions=set(libc.offsets))]
+    )
+    result = provision_and_get(binary, policies)
+    print("    static check: PASSED (the instrumentation is present)")
+    outcome = EnclaveExecutor(result.runtime.enclave, result.outcome.loaded,
+                              symbols=binary.symbols).run()
+    print(f"    runtime:      {outcome.outcome.upper()} after "
+          f"{outcome.instructions_executed} instructions ({outcome.detail})\n")
+
+    # ------------------------------------------------------------------
+    print("[2] Forward-edge CFI: corrupting a function pointer")
+    for use_ifcc in (False, True):
+        spec = ProgramSpec(
+            name=f"cfi-{use_ifcc}",
+            functions=[
+                FunctionSpec("main", n_blocks=1, ops_per_block=(2, 2),
+                             indirect_calls=1),
+                FunctionSpec("victim", n_blocks=1, ops_per_block=(2, 2),
+                             address_taken=True),
+            ],
+        )
+        binary = link(Compiler(CompilerFlags(ifcc=use_ifcc)).compile(spec), libc)
+        policies = (PolicyRegistry([IfccPolicy()]) if use_ifcc else
+                    PolicyRegistry([LibraryLinkingPolicy(libc.reference_hashes())]))
+        result = provision_and_get(binary, policies)
+        loaded = result.outcome.loaded
+        enclave = result.runtime.enclave
+
+        # the "heap corruption": point the fnptr at a data page
+        slot = next(v for n, v in binary.symbols.items()
+                    if n.startswith("__fnptr_main_"))
+        evil_target = loaded.writable_pages[0] + 0x40
+        enclave.write(loaded.load_bias + slot,
+                      evil_target.to_bytes(8, "little"))
+
+        outcome = EnclaveExecutor(enclave, loaded, symbols=binary.symbols).run()
+        label = "with IFCC   " if use_ifcc else "without IFCC"
+        print(f"    {label}: {outcome.outcome:<9} "
+              f"({outcome.detail or 'masking confined the call to the jump table'})")
+    print()
+
+    # ------------------------------------------------------------------
+    print("[3] W^X after sealing")
+    from repro.core.runtime import EnclaveMemoryBus
+    from repro.x86.interp import ExecutionFault
+
+    bus = EnclaveMemoryBus(enclave)
+    try:
+        bus.write(loaded.executable_pages[0], b"\xcc")
+        print("    UNSOUND: code page was writable")
+    except ExecutionFault as exc:
+        print(f"    writing a code page:   blocked ({exc})")
+    exec_attempt = EnclaveExecutor(enclave, loaded, symbols=binary.symbols)
+    outcome = exec_attempt.run(entry=loaded.writable_pages[0])
+    print(f"    executing a data page: {outcome.outcome} ({outcome.detail})")
+
+
+if __name__ == "__main__":
+    main()

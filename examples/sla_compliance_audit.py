@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""A cloud provider's SLA-compliance day: five tenants, five outcomes.
+
+The paper's motivation (section 1): without EnGarde, SGX makes tenant
+enclaves opaque and the provider cannot enforce any SLA on them — malware
+could hide in an enclave.  With EnGarde, the provider checks the agreed
+policies at provisioning time without ever seeing tenant plaintext.
+
+This example provisions five tenants against the same policy set:
+
+  tenant-a  fully instrumented, genuine musl           -> accepted
+  tenant-b  compiled without stack protection          -> rejected
+  tenant-c  indirect calls without IFCC                -> rejected
+  tenant-d  linked against a stale musl (v1.0.4)       -> rejected
+  tenant-e  ships a corrupted/obfuscated binary        -> rejected (disasm)
+
+Run:  python examples/sla_compliance_audit.py
+"""
+
+from repro.core import (
+    CloudProvider,
+    EnclaveClient,
+    IfccPolicy,
+    LibraryLinkingPolicy,
+    PolicyRegistry,
+    StackProtectionPolicy,
+    provision,
+)
+from repro.sgx import SgxParams
+from repro.toolchain import (
+    Compiler, CompilerFlags, FunctionSpec, ProgramSpec, build_libc, link,
+)
+
+
+def tenant_app(name: str) -> ProgramSpec:
+    return ProgramSpec(
+        name=name,
+        functions=[
+            FunctionSpec("main", n_blocks=3,
+                         direct_calls=["step", "memcpy", "printf"],
+                         indirect_calls=1),
+            FunctionSpec("step", n_blocks=2, direct_calls=["strlen"],
+                         address_taken=True),
+            FunctionSpec("job", n_blocks=1, address_taken=True),
+        ],
+        libc_imports=["memcpy", "printf", "strlen"],
+    )
+
+
+def main() -> None:
+    libc = build_libc()           # the agreed musl v1.0.5
+    libc_stale = build_libc("1.0.4")
+
+    policies = PolicyRegistry([
+        LibraryLinkingPolicy(libc.reference_hashes()),
+        StackProtectionPolicy(exempt_functions=set(libc.offsets)),
+        IfccPolicy(),
+    ])
+
+    full = CompilerFlags(stack_protector=True, ifcc=True)
+    no_sp = CompilerFlags(stack_protector=False, ifcc=True)
+    no_ifcc = CompilerFlags(stack_protector=True, ifcc=False)
+
+    tenants = {
+        "tenant-a": link(Compiler(full).compile(tenant_app("a")), libc).elf,
+        "tenant-b": link(Compiler(no_sp).compile(tenant_app("b")), libc).elf,
+        "tenant-c": link(Compiler(no_ifcc).compile(tenant_app("c")), libc).elf,
+        "tenant-d": link(Compiler(full).compile(tenant_app("d")), libc_stale).elf,
+        "tenant-e": b"\x7fELF-but-actually-garbage" + bytes(4000),
+    }
+
+    print(f"{'tenant':<10} {'verdict':<9} {'detail'}")
+    print("-" * 64)
+    accepted = []
+    for name, binary in tenants.items():
+        provider = CloudProvider(
+            policies,
+            params=SgxParams(epc_pages=4096, heap_initial_pages=128),
+            rsa_bits=1024, client_pages=64, enclave_pages=0x2000,
+        )
+        client = EnclaveClient(binary, policies=policies, benchmark=name)
+        result = provision(provider, client)
+
+        if result.accepted:
+            detail = (f"sealed enclave, "
+                      f"{len(result.report.executable_pages)} code page(s)")
+            accepted.append(name)
+        elif result.report.rejected_stage:
+            detail = f"structural rejection at stage {result.report.rejected_stage!r}"
+        else:
+            detail = "failed: " + ", ".join(result.report.policies_failed)
+        print(f"{name:<10} {'ACCEPT' if result.accepted else 'reject':<9} {detail}")
+
+        # The provider acted without learning tenant content: EPC pages
+        # are ciphertext, the report carries only a verdict + addresses.
+        assert binary[:48] not in result.report.serialize()
+
+    print("-" * 64)
+    print(f"{len(accepted)}/5 tenants admitted: {', '.join(accepted)}")
+    print("\nEach rejected tenant got its verdict over the authenticated "
+          "channel,\nso a provider falsely claiming non-compliance would be "
+          "detectable (section 3).")
+
+
+if __name__ == "__main__":
+    main()

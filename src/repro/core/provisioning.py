@@ -1,0 +1,379 @@
+"""The mutual-trust provisioning protocol (paper sections 2-3).
+
+Actors:
+
+* :class:`CloudProvider` — owns the SGX machine and host OS.  Creates a
+  fresh enclave provisioned with the agreed EnGarde build, relays
+  attestation, and — on a compliant verdict — pins W^X page permissions
+  and seals the enclave.  On a non-compliant verdict it tears the enclave
+  down.  It never sees client plaintext.
+* :class:`EnclaveClient` — holds the binary.  Computes the *expected*
+  MRENCLAVE from the agreed EnGarde build (both parties have EnGarde's
+  code for inspection), verifies the quote, checks that the channel key is
+  the one bound into the quote, then streams the binary in encrypted
+  page-sized records and finally receives the verdict over the same
+  authenticated channel (so a provider falsely claiming non-compliance is
+  detectable).
+* :func:`provision` — drives the interleaving of the two sides plus the
+  in-enclave EnGarde session; returns everything the harness reports.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..crypto import HmacDrbg
+from ..crypto.channel import SecureChannel, ServerHandshake, client_handshake
+from ..errors import AttestationError, ProtocolError
+from ..net import SocketPair
+from ..sgx import (
+    HostOS,
+    PAGE_SIZE,
+    QuotingEnclave,
+    SgxMachine,
+    SgxParams,
+    verify_quote,
+)
+from ..sgx.cpu import CycleMeter
+from ..sgx.host import EnclaveRuntime
+from ..sgx.measurement import Measurement
+from .engarde import EnGarde, InspectionOutcome
+from .policy import PolicyRegistry
+from .report import ComplianceReport
+
+__all__ = [
+    "CloudProvider", "EnclaveClient", "ProvisioningResult", "provision",
+    "expected_mrenclave", "ENCLAVE_BASE", "DEFAULT_ENCLAVE_PAGES",
+]
+
+ENCLAVE_BASE = 0x10000
+DEFAULT_ENCLAVE_PAGES = 0x8000  # 128 MiB ELRANGE
+_CONTENT_HEADER = struct.Struct("<QI")  # total size, record count
+
+
+def _bootstrap_pages(engarde: EnGarde) -> dict[int, bytes]:
+    """Page-chunked EnGarde bootstrap content at the enclave base."""
+    blob = engarde.bootstrap_bytes()
+    pages = {}
+    for i in range(0, max(len(blob), 1), PAGE_SIZE):
+        pages[ENCLAVE_BASE + i] = blob[i:i + PAGE_SIZE]
+    return pages
+
+
+def expected_mrenclave(
+    policies: PolicyRegistry,
+    *,
+    heap_pages: int,
+    client_pages: int,
+    enclave_pages: int = DEFAULT_ENCLAVE_PAGES,
+) -> bytes:
+    """What MRENCLAVE *must* be for the agreed EnGarde build.
+
+    Pure replay of the build sequence `HostOS.build_enclave` performs —
+    both the provider and the client can compute this independently from
+    EnGarde's public code, which is the whole point of mutual trust.
+    (A regression test pins this function against an actual build.)
+    """
+    engarde = EnGarde(policies)
+    boot = _bootstrap_pages(engarde)
+    size = enclave_pages * PAGE_SIZE
+    m = Measurement()
+    m.ecreate(ENCLAVE_BASE, size, 0)
+    for vaddr in sorted(boot):
+        m.eadd(vaddr, "REG", "rwx")
+        for off in range(0, PAGE_SIZE, 256):
+            content = boot[vaddr].ljust(PAGE_SIZE, b"\x00")
+            m.eextend(vaddr + off, content[off:off + 256])
+    client_base = _align_page(max(boot) + PAGE_SIZE)
+    for i in range(client_pages):
+        m.eadd(client_base + i * PAGE_SIZE, "REG", "rwx")
+    heap_base = client_base + client_pages * PAGE_SIZE
+    for i in range(heap_pages):
+        m.eadd(heap_base + i * PAGE_SIZE, "REG", "rw-")
+    return m.finalize()
+
+
+@dataclass
+class ProvisioningSession:
+    """Provider-side state for one enclave being provisioned."""
+
+    runtime: EnclaveRuntime
+    engarde: EnGarde
+    handshake: ServerHandshake
+    channel: SecureChannel | None = None
+    outcome: InspectionOutcome | None = None
+    benchmark: str = "client"
+
+
+@dataclass
+class ProvisioningResult:
+    """Everything one provisioning run produced."""
+
+    accepted: bool
+    report: ComplianceReport
+    outcome: InspectionOutcome
+    meter: CycleMeter
+    runtime: EnclaveRuntime | None
+    #: what the client's side concluded (must match `report`)
+    client_verdict: ComplianceReport | None = None
+
+
+class CloudProvider:
+    """The cloud provider: machine owner and policy enforcer."""
+
+    def __init__(
+        self,
+        policies: PolicyRegistry,
+        *,
+        params: SgxParams | None = None,
+        rng: HmacDrbg | None = None,
+        rsa_bits: int = 1024,
+        heap_pages: int | None = None,
+        client_pages: int = 2048,
+        enclave_pages: int = DEFAULT_ENCLAVE_PAGES,
+        per_insn_malloc: bool = False,
+    ) -> None:
+        self.policies = policies
+        self.params = params or SgxParams()
+        self.machine = SgxMachine(self.params)
+        self.host = HostOS(self.machine)
+        self.rng = rng or HmacDrbg(b"cloud-provider")
+        self.quoting_enclave = QuotingEnclave(self.machine, self.rng.fork(b"qe"))
+        self.rsa_bits = rsa_bits
+        self.heap_pages = (
+            self.params.heap_initial_pages if heap_pages is None else heap_pages
+        )
+        self.client_pages = client_pages
+        self.enclave_pages = enclave_pages
+        self.per_insn_malloc = per_insn_malloc
+
+    def start_session(
+        self, sock, *, benchmark: str = "client"
+    ) -> ProvisioningSession:
+        """Build the EnGarde enclave and send the channel public key."""
+        meter = self.machine.meter
+        runtime_holder: list[EnclaveRuntime] = []
+
+        def alloc_pages(n: int) -> int:
+            return self.host.svc_alloc_pages(runtime_holder[0], n)
+
+        engarde = EnGarde(
+            self.policies, meter,
+            alloc_pages=alloc_pages, per_insn_malloc=self.per_insn_malloc,
+        )
+        boot = _bootstrap_pages(engarde)
+        runtime = self.host.build_enclave(
+            base=ENCLAVE_BASE,
+            size=self.enclave_pages * PAGE_SIZE,
+            bootstrap_pages=boot,
+            heap_pages=self.heap_pages,
+            client_pages=self.client_pages,
+        )
+        runtime_holder.append(runtime)
+        self.machine.eenter(runtime.enclave)
+        self.host.svc_socket(runtime, sock)
+
+        handshake = ServerHandshake(
+            sock, self.rng.fork(b"channel"), rsa_bits=self.rsa_bits
+        )
+        handshake.send_public_key()
+        return ProvisioningSession(
+            runtime=runtime, engarde=engarde, handshake=handshake,
+            benchmark=benchmark,
+        )
+
+    def attest(self, session: ProvisioningSession, challenge: bytes):
+        """EREPORT (binding the channel key) -> quoting enclave -> quote."""
+        keypair = session.handshake._keypair
+        assert keypair is not None, "handshake must run before attestation"
+        fingerprint = keypair.public_key.fingerprint()
+        report = self.machine.ereport(session.runtime.enclave, fingerprint)
+        return self.quoting_enclave.quote(report, challenge)
+
+    def run_engarde(self, session: ProvisioningSession) -> ComplianceReport:
+        """Complete the handshake, receive content, run the pipeline."""
+        session.channel = session.handshake.complete()
+        raw = self._receive_content(session)
+        runtime = session.runtime
+        session.outcome = session.engarde.inspect_and_load(
+            raw,
+            runtime.enclave,
+            runtime.client_base,
+            runtime.client_pages,
+            benchmark=session.benchmark,
+        )
+        return session.outcome.report
+
+    def finalize(self, session: ProvisioningSession) -> bool:
+        """Act on the verdict: pin W^X + seal, or tear down.
+
+        Returns True when the enclave was accepted and sealed.
+        """
+        if session.outcome is None or session.channel is None:
+            raise ProtocolError("finalize before run_engarde")
+        report = session.outcome.report
+        # The verdict travels to the client over the *authenticated*
+        # channel, so the provider cannot forge "non-compliant".
+        session.channel.send(report.serialize())
+        if report.compliant:
+            self.host.apply_engarde_protections(
+                session.runtime, list(report.executable_pages)
+            )
+            return True
+        self.machine.eexit(session.runtime.enclave)
+        self.machine.destroy(session.runtime.enclave)
+        return False
+
+    # ------------------------------------------------------------------
+
+    def _receive_content(self, session: ProvisioningSession) -> bytes:
+        """Receive the encrypted blocks through the host trampoline."""
+        runtime = session.runtime
+        channel = session.channel
+        assert channel is not None
+        meter = self.machine.meter
+
+        fd = 3  # the socket registered in start_session
+        header = self._recv_record(runtime, channel, fd, meter)
+        if len(header) != _CONTENT_HEADER.size:
+            raise ProtocolError("bad content header")
+        total, records = _CONTENT_HEADER.unpack(header)
+        if total > runtime.client_pages * PAGE_SIZE * 4:
+            raise ProtocolError("announced content size exceeds any sane image")
+        chunks = []
+        received = 0
+        for _ in range(records):
+            chunk = self._recv_record(runtime, channel, fd, meter)
+            chunks.append(chunk)
+            received += len(chunk)
+        if received != total:
+            raise ProtocolError(
+                f"content truncated: announced {total}, received {received}"
+            )
+        return b"".join(chunks)
+
+    def _recv_record(
+        self,
+        runtime: EnclaveRuntime,
+        channel: SecureChannel,
+        fd: int,
+        meter: CycleMeter,
+    ) -> bytes:
+        # Socket I/O exits the enclave (trampoline); decryption happens
+        # back inside.  The AES work is charged per 16-byte block.
+        record = channel.recv()
+        self.host.trampoline(runtime)
+        meter.charge("aes_block", max(len(record) // 16, 1))
+        return record
+
+
+class EnclaveClient:
+    """The client: binary owner, attestation verifier, content sender."""
+
+    def __init__(
+        self,
+        binary: bytes,
+        *,
+        policies: PolicyRegistry,
+        rng: HmacDrbg | None = None,
+        benchmark: str = "client",
+    ) -> None:
+        self.binary = binary
+        self.policies = policies
+        self.rng = rng or HmacDrbg(b"enclave-client")
+        self.benchmark = benchmark
+        self.channel: SecureChannel | None = None
+        self.verdict: ComplianceReport | None = None
+
+    def challenge(self) -> bytes:
+        return self.rng.generate(16)
+
+    def verify_attestation(
+        self,
+        quote,
+        device_key,
+        challenge: bytes,
+        *,
+        heap_pages: int,
+        client_pages: int,
+        enclave_pages: int = DEFAULT_ENCLAVE_PAGES,
+    ) -> bytes:
+        """Verify the quote; returns the attested channel-key fingerprint."""
+        expected = expected_mrenclave(
+            self.policies,
+            heap_pages=heap_pages,
+            client_pages=client_pages,
+            enclave_pages=enclave_pages,
+        )
+        verify_quote(
+            quote, device_key,
+            expected_mrenclave=expected, challenge=challenge,
+        )
+        return quote.report_data[:32]
+
+    def open_channel(self, sock, attested_fingerprint: bytes) -> None:
+        self.channel, _pub = client_handshake(
+            sock, self.rng.fork(b"channel"),
+            expected_fingerprint=attested_fingerprint,
+        )
+
+    def send_content(self) -> None:
+        """Stream the binary as page-sized encrypted records."""
+        if self.channel is None:
+            raise ProtocolError("channel not established")
+        records = [
+            self.binary[i:i + PAGE_SIZE]
+            for i in range(0, len(self.binary), PAGE_SIZE)
+        ]
+        self.channel.send(_CONTENT_HEADER.pack(len(self.binary), len(records)))
+        for record in records:
+            self.channel.send(record)
+
+    def receive_verdict(self) -> ComplianceReport:
+        if self.channel is None:
+            raise ProtocolError("channel not established")
+        self.verdict = ComplianceReport.deserialize(self.channel.recv())
+        return self.verdict
+
+
+def provision(
+    provider: CloudProvider,
+    client: EnclaveClient,
+) -> ProvisioningResult:
+    """Drive one full provisioning exchange end to end."""
+    pair = SocketPair("client", "enclave")
+
+    session = provider.start_session(pair.right, benchmark=client.benchmark)
+
+    challenge = client.challenge()
+    quote = provider.attest(session, challenge)
+    fingerprint = client.verify_attestation(
+        quote,
+        provider.quoting_enclave.device_public_key,
+        challenge,
+        heap_pages=provider.heap_pages,
+        client_pages=provider.client_pages,
+        enclave_pages=provider.enclave_pages,
+    )
+
+    client.open_channel(pair.left, fingerprint)
+    client.send_content()
+
+    report = provider.run_engarde(session)
+    accepted = provider.finalize(session)
+    client_verdict = client.receive_verdict()
+
+    assert session.outcome is not None
+    return ProvisioningResult(
+        accepted=accepted,
+        report=report,
+        outcome=session.outcome,
+        meter=provider.machine.meter,
+        runtime=session.runtime if accepted else None,
+        client_verdict=client_verdict,
+    )
+
+
+def _align_page(vaddr: int) -> int:
+    return (vaddr + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)

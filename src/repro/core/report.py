@@ -1,0 +1,101 @@
+"""The compliance report: everything the cloud provider gets to see.
+
+The threat model (paper section 3) bounds EnGarde's explicit output to the
+provider: *"the only explicit communication between EnGarde and the cloud
+provider must be to inform the cloud provider about policy compliance and
+to identify the virtual addresses of the pages that contain the client's
+code."*  This module is that boundary — nothing else crosses it, and the
+property tests assert no client-content bytes can appear here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ComplianceReport"]
+
+
+@dataclass(frozen=True)
+class ComplianceReport:
+    """EnGarde's verdict, as shared with the cloud provider."""
+
+    benchmark: str               # the client-chosen job label (not content)
+    compliant: bool
+    #: names of the agreed policies that were evaluated
+    policies_checked: tuple[str, ...] = ()
+    #: names of the policies that failed (empty when compliant)
+    policies_failed: tuple[str, ...] = ()
+    #: rejection stage for structural failures ("elf", "disasm", ...)
+    rejected_stage: str | None = None
+    #: page-aligned virtual addresses of the client's executable pages —
+    #: the host needs these to pin X-not-W permissions
+    executable_pages: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.compliant and (self.policies_failed or self.rejected_stage):
+            raise ValueError("compliant report cannot carry failures")
+        if not self.compliant and self.executable_pages:
+            raise ValueError("non-compliant report must not list code pages")
+
+    @staticmethod
+    def accepted(
+        benchmark: str,
+        policies: list[str],
+        executable_pages: list[int],
+    ) -> "ComplianceReport":
+        return ComplianceReport(
+            benchmark=benchmark,
+            compliant=True,
+            policies_checked=tuple(policies),
+            executable_pages=tuple(executable_pages),
+        )
+
+    @staticmethod
+    def rejected(
+        benchmark: str,
+        policies: list[str],
+        *,
+        failed: list[str] | None = None,
+        stage: str | None = None,
+    ) -> "ComplianceReport":
+        return ComplianceReport(
+            benchmark=benchmark,
+            compliant=False,
+            policies_checked=tuple(policies),
+            policies_failed=tuple(failed or ()),
+            rejected_stage=stage,
+        )
+
+    def serialize(self) -> bytes:
+        """Wire form sent to the (untrusted) host."""
+        lines = [
+            f"benchmark={self.benchmark}",
+            f"compliant={int(self.compliant)}",
+            f"checked={','.join(self.policies_checked)}",
+            f"failed={','.join(self.policies_failed)}",
+            f"stage={self.rejected_stage or ''}",
+            "pages=" + ",".join(f"{p:#x}" for p in self.executable_pages),
+        ]
+        return "\n".join(lines).encode()
+
+    @staticmethod
+    def deserialize(raw: bytes) -> "ComplianceReport":
+        fields_map: dict[str, str] = {}
+        for line in raw.decode().splitlines():
+            key, _, value = line.partition("=")
+            fields_map[key] = value
+        pages = tuple(
+            int(p, 16) for p in fields_map.get("pages", "").split(",") if p
+        )
+        return ComplianceReport(
+            benchmark=fields_map.get("benchmark", ""),
+            compliant=fields_map.get("compliant") == "1",
+            policies_checked=tuple(
+                p for p in fields_map.get("checked", "").split(",") if p
+            ),
+            policies_failed=tuple(
+                p for p in fields_map.get("failed", "").split(",") if p
+            ),
+            rejected_stage=fields_map.get("stage") or None,
+            executable_pages=pages,
+        )

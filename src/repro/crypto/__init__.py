@@ -1,0 +1,45 @@
+"""Cryptographic substrate, implemented from scratch.
+
+The paper's enclave bootstrap links OpenSSL's libcrypto/libssl (Figure 2
+counts them at ~350 KLoC).  This package provides the slice of that
+functionality EnGarde actually exercises: SHA-256, HMAC, a deterministic
+DRBG, RSA with PKCS#1 v1.5-style padding, AES-256 with CBC/CTR modes, and
+the provisioning channel protocol built from those pieces.
+"""
+
+from .aes import Aes, aes_cbc_decrypt, aes_cbc_encrypt, aes_ctr, pkcs7_pad, pkcs7_unpad
+from .channel import (
+    AES_KEY_SIZE,
+    DEFAULT_RSA_BITS,
+    SecureChannel,
+    client_handshake,
+    ServerHandshake,
+)
+from .mac import HmacDrbg, hmac_sha256
+from .primes import generate_prime, is_probable_prime
+from .rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
+from .sha256 import SHA256, sha256, sha256_fast
+
+__all__ = [
+    "SHA256",
+    "sha256",
+    "sha256_fast",
+    "hmac_sha256",
+    "HmacDrbg",
+    "is_probable_prime",
+    "generate_prime",
+    "RsaPublicKey",
+    "RsaPrivateKey",
+    "generate_keypair",
+    "Aes",
+    "aes_cbc_encrypt",
+    "aes_cbc_decrypt",
+    "aes_ctr",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "SecureChannel",
+    "ServerHandshake",
+    "client_handshake",
+    "AES_KEY_SIZE",
+    "DEFAULT_RSA_BITS",
+]

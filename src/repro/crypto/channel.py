@@ -1,0 +1,209 @@
+"""The provisioning channel: RSA key exchange + authenticated AES transport.
+
+Mirrors the protocol in the paper (section 3, "Overall Design"):
+
+1. The bootstrap code in the fresh enclave generates an RSA key pair and
+   sends the public key to the client (its fingerprint is also embedded in
+   the attestation quote, binding the key to the measured enclave).
+2. The client generates a 256-bit AES session key, encrypts it under the
+   enclave's public key, and sends it back.
+3. All subsequent content flows as encrypted blocks.  We use AES-CTR with
+   an HMAC-SHA256 tag per record (encrypt-then-MAC) and a strictly
+   monotonic sequence number, giving the "encrypted, authenticated channel"
+   the paper requires.
+
+Both endpoints share the :class:`SecureChannel` record layer; the handshake
+helpers :func:`server_handshake` / :func:`client_handshake` run the key
+exchange over a :class:`~repro.net.SimSocket`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..errors import CryptoError, ProtocolError
+from ..net import SimSocket
+from .aes import aes_ctr
+from .mac import HmacDrbg, hmac_sha256
+from .rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
+
+__all__ = [
+    "SecureChannel",
+    "ServerHandshake",
+    "client_handshake",
+    "AES_KEY_SIZE",
+    "DEFAULT_RSA_BITS",
+]
+
+AES_KEY_SIZE = 32  # 256-bit AES, as in the paper
+DEFAULT_RSA_BITS = 2048
+TAG_SIZE = 32
+_HDR = struct.Struct(">QI")  # sequence number, payload length
+
+# Key-exchange message types.
+_MSG_PUBKEY = b"EG-PUBKEY"
+_MSG_KEYWRAP = b"EG-KEYWRAP"
+
+
+@dataclass(frozen=True)
+class _Record:
+    seq: int
+    payload: bytes
+
+
+class SecureChannel:
+    """Authenticated-encryption record layer over a :class:`SimSocket`.
+
+    Each direction derives its own AES-CTR nonce and MAC key from the
+    session key, so records cannot be reflected back to their sender.
+    """
+
+    def __init__(self, sock: SimSocket, session_key: bytes, *, is_server: bool) -> None:
+        if len(session_key) != AES_KEY_SIZE:
+            raise CryptoError(f"session key must be {AES_KEY_SIZE} bytes")
+        self._sock = sock
+        self._send_seq = 0
+        self._recv_seq = 0
+        send_label, recv_label = (b"srv->cli", b"cli->srv") if is_server else (b"cli->srv", b"srv->cli")
+        self._send_key = hmac_sha256(session_key, b"enc" + send_label)
+        self._recv_key = hmac_sha256(session_key, b"enc" + recv_label)
+        self._send_mac = hmac_sha256(session_key, b"mac" + send_label)
+        self._recv_mac = hmac_sha256(session_key, b"mac" + recv_label)
+        self._send_nonce = hmac_sha256(session_key, b"nonce" + send_label)[:8]
+        self._recv_nonce = hmac_sha256(session_key, b"nonce" + recv_label)[:8]
+
+    # Each record gets a disjoint CTR-counter window: 2**20 blocks (16 MiB)
+    # per sequence number, far above the socket frame limit per record.
+    _CTR_WINDOW = 1 << 20
+
+    def send(self, payload: bytes) -> None:
+        """Encrypt, authenticate, and transmit one record."""
+        header = _HDR.pack(self._send_seq, len(payload))
+        ciphertext = aes_ctr(
+            self._send_key, self._send_nonce, payload,
+            initial_counter=self._send_seq * self._CTR_WINDOW,
+        )
+        tag = hmac_sha256(self._send_mac, header + ciphertext)
+        self._sock.send(header + ciphertext + tag)
+        self._send_seq += 1
+
+    def recv(self) -> bytes:
+        """Receive, verify, and decrypt one record."""
+        record = self._sock.recv()
+        if len(record) < _HDR.size + TAG_SIZE:
+            raise CryptoError("record too short")
+        header = record[:_HDR.size]
+        ciphertext = record[_HDR.size:-TAG_SIZE]
+        tag = record[-TAG_SIZE:]
+        seq, length = _HDR.unpack(header)
+        if seq != self._recv_seq:
+            raise CryptoError(f"bad sequence number: expected {self._recv_seq}, got {seq}")
+        expected = hmac_sha256(self._recv_mac, header + ciphertext)
+        if not _constant_time_eq(tag, expected):
+            raise CryptoError("record MAC verification failed")
+        if length != len(ciphertext):
+            raise CryptoError("record length mismatch")
+        self._recv_seq += 1
+        return aes_ctr(
+            self._recv_key, self._recv_nonce, ciphertext,
+            initial_counter=seq * self._CTR_WINDOW,
+        )
+
+
+def _constant_time_eq(a: bytes, b: bytes) -> bool:
+    if len(a) != len(b):
+        return False
+    acc = 0
+    for x, y in zip(a, b):
+        acc |= x ^ y
+    return acc == 0
+
+
+class ServerHandshake:
+    """Enclave-side handshake, split into two phases.
+
+    The simulation is single-threaded and protocol-driven, so the enclave
+    first *sends* its public key (:meth:`send_public_key`), control returns
+    to the client which wraps the session key, and the enclave then
+    *completes* (:meth:`complete`) by unwrapping it:
+
+    >>> hs = ServerHandshake(enclave_sock, rng, rsa_bits=512)   # doctest: +SKIP
+    >>> keypair = hs.send_public_key()                          # doctest: +SKIP
+    >>> channel, _ = client_handshake(client_sock, client_rng)  # doctest: +SKIP
+    >>> enclave_channel = hs.complete()                         # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        sock: SimSocket,
+        rng: HmacDrbg,
+        *,
+        rsa_bits: int = DEFAULT_RSA_BITS,
+        keypair: RsaPrivateKey | None = None,
+    ) -> None:
+        self._sock = sock
+        self._rng = rng
+        self._rsa_bits = rsa_bits
+        self._keypair = keypair
+        self._sent = False
+
+    def send_public_key(self) -> RsaPrivateKey:
+        """Phase 1: generate (if needed) and transmit the ephemeral key.
+
+        Returns the private key so the caller can embed its public
+        fingerprint in the attestation quote.
+        """
+        if self._sent:
+            raise ProtocolError("public key already sent")
+        if self._keypair is None:
+            self._keypair = generate_keypair(self._rsa_bits, self._rng)
+        pub = self._keypair.public_key
+        n_bytes = pub.n.to_bytes(pub.size_bytes, "big")
+        self._sock.send(_MSG_PUBKEY + struct.pack(">II", pub.e, len(n_bytes)) + n_bytes)
+        self._sent = True
+        return self._keypair
+
+    def complete(self) -> SecureChannel:
+        """Phase 2: receive the wrapped AES key and build the record layer."""
+        if not self._sent:
+            raise ProtocolError("must send the public key before completing")
+        wrapped = self._sock.recv()
+        if not wrapped.startswith(_MSG_KEYWRAP):
+            raise ProtocolError("expected key-wrap message")
+        assert self._keypair is not None
+        session_key = self._keypair.decrypt(wrapped[len(_MSG_KEYWRAP):])
+        if len(session_key) != AES_KEY_SIZE:
+            raise ProtocolError(
+                f"unwrapped session key has wrong size {len(session_key)}"
+            )
+        return SecureChannel(self._sock, session_key, is_server=True)
+
+
+def client_handshake(
+    sock: SimSocket,
+    rng: HmacDrbg,
+    *,
+    expected_fingerprint: bytes | None = None,
+) -> tuple[SecureChannel, RsaPublicKey]:
+    """Client-side handshake: receive the enclave key, wrap a fresh AES key.
+
+    When *expected_fingerprint* is given (taken from a verified attestation
+    quote), the received public key must match it — this is the binding that
+    stops the cloud provider from inserting itself in the middle.
+    """
+    hello = sock.recv()
+    if not hello.startswith(_MSG_PUBKEY):
+        raise ProtocolError("expected public-key message")
+    body = hello[len(_MSG_PUBKEY):]
+    e, n_len = struct.unpack_from(">II", body)
+    n = int.from_bytes(body[8:8 + n_len], "big")
+    if len(body) != 8 + n_len:
+        raise ProtocolError("malformed public-key message")
+    pub = RsaPublicKey(n=n, e=e)
+    if expected_fingerprint is not None and pub.fingerprint() != expected_fingerprint:
+        raise ProtocolError("enclave public key does not match attested fingerprint")
+
+    session_key = rng.generate(AES_KEY_SIZE)
+    sock.send(_MSG_KEYWRAP + pub.encrypt(session_key, rng))
+    return SecureChannel(sock, session_key, is_server=False), pub

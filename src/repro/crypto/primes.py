@@ -1,0 +1,81 @@
+"""Prime generation for RSA: trial division + Miller-Rabin.
+
+Primes are drawn from a caller-supplied :class:`~repro.crypto.mac.HmacDrbg`
+so that key generation is deterministic under a fixed seed — essential for
+reproducible enclave-provisioning experiments.
+"""
+
+from __future__ import annotations
+
+from .mac import HmacDrbg
+
+__all__ = ["is_probable_prime", "generate_prime", "SMALL_PRIMES"]
+
+# Primes below 1000, used for cheap trial division before Miller-Rabin.
+
+
+def _sieve(limit: int) -> tuple[int, ...]:
+    flags = bytearray([1]) * (limit + 1)
+    flags[0] = flags[1] = 0
+    for p in range(2, int(limit ** 0.5) + 1):
+        if flags[p]:
+            flags[p * p:: p] = bytearray(len(flags[p * p:: p]))
+    return tuple(i for i, f in enumerate(flags) if f)
+
+
+SMALL_PRIMES = _sieve(1000)
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: HmacDrbg | None = None) -> bool:
+    """Miller-Rabin primality test.
+
+    With 40 rounds the error probability is below 2**-80.  When *rng* is
+    None, witnesses are the first *rounds* small primes (deterministic and
+    adequate for the sizes used here).
+    """
+    if n < 2:
+        return False
+    for p in SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+
+    # Write n - 1 = d * 2**r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+
+    for i in range(rounds):
+        if rng is None:
+            a = SMALL_PRIMES[i % len(SMALL_PRIMES)]
+        else:
+            a = rng.randint(2, n - 2)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: HmacDrbg) -> int:
+    """Generate a random prime with exactly *bits* bits.
+
+    The top two bits are forced to 1 so that the product of two such primes
+    has exactly 2*bits bits (the standard RSA trick).
+    """
+    if bits < 8:
+        raise ValueError("prime size must be at least 8 bits")
+    while True:
+        candidate = rng.randbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2))  # full size
+        candidate |= 1  # odd
+        if is_probable_prime(candidate, rng=rng):
+            return candidate

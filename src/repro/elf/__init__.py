@@ -1,0 +1,19 @@
+"""ELF64 substrate: the binary format EnGarde's clients ship.
+
+The writer produces statically-linked position-independent ELF64 images
+(the only format the paper's prototype accepts); the reader implements
+EnGarde's validation checks and exposes text/data sections, the symbol
+table, and the ``.dynamic``-reachable relocation table.
+"""
+
+from . import constants
+from .reader import ElfImage, Section, Symbol, read_elf
+from .structs import Dyn, Ehdr, Phdr, Rela, Shdr, Sym
+from .writer import DYNAMIC_ENTRY_COUNT, ElfSymbol, Layout, write_elf
+
+__all__ = [
+    "constants",
+    "read_elf", "ElfImage", "Section", "Symbol",
+    "write_elf", "ElfSymbol", "Layout", "DYNAMIC_ENTRY_COUNT",
+    "Ehdr", "Phdr", "Shdr", "Sym", "Rela", "Dyn",
+]

@@ -1,0 +1,72 @@
+"""ELF64 constants (System V ABI, x86-64 supplement) — the subset we emit."""
+
+from __future__ import annotations
+
+ELF_MAGIC = b"\x7fELF"
+
+# e_ident indices
+EI_CLASS = 4
+EI_DATA = 5
+EI_VERSION = 6
+EI_OSABI = 7
+
+ELFCLASS64 = 2
+ELFDATA2LSB = 1
+EV_CURRENT = 1
+ELFOSABI_SYSV = 0
+
+# e_type
+ET_DYN = 3   # position-independent executable
+ET_EXEC = 2
+
+# e_machine
+EM_X86_64 = 62
+
+# Program header types / flags
+PT_LOAD = 1
+PT_DYNAMIC = 2
+PF_X = 1
+PF_W = 2
+PF_R = 4
+
+# Section header types
+SHT_NULL = 0
+SHT_PROGBITS = 1
+SHT_SYMTAB = 2
+SHT_STRTAB = 3
+SHT_RELA = 4
+SHT_NOBITS = 8
+SHT_DYNAMIC = 6
+
+# Section flags
+SHF_WRITE = 0x1
+SHF_ALLOC = 0x2
+SHF_EXECINSTR = 0x4
+
+# Symbol binding / type
+STB_LOCAL = 0
+STB_GLOBAL = 1
+STT_NOTYPE = 0
+STT_OBJECT = 1
+STT_FUNC = 2
+STT_SECTION = 3
+
+SHN_UNDEF = 0
+SHN_ABS = 0xFFF1
+
+# Dynamic tags
+DT_NULL = 0
+DT_RELA = 7
+DT_RELASZ = 8
+DT_RELAENT = 9
+DT_DEBUG = 21
+DT_FLAGS = 30
+DF_PIE_FLAG = 0x08000000  # DF_1_PIE lives in DT_FLAGS_1; we fold it here
+
+# x86-64 relocation types
+R_X86_64_NONE = 0
+R_X86_64_64 = 1
+R_X86_64_RELATIVE = 8
+
+PAGE_SIZE = 0x1000
+TEXT_VADDR = 0x1000  # conventional first-page-after-headers load address

@@ -1,0 +1,196 @@
+"""ELF64 on-disk structures: pack/unpack helpers.
+
+Field names and sizes follow the System V ABI.  Each dataclass round-trips
+through ``pack``/``unpack``; the writer and reader share these definitions
+so a written image always re-parses.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..errors import ElfError
+
+__all__ = ["Ehdr", "Phdr", "Shdr", "Sym", "Rela", "Dyn"]
+
+_EHDR = struct.Struct("<16sHHIQQQIHHHHHH")
+_PHDR = struct.Struct("<IIQQQQQQ")
+_SHDR = struct.Struct("<IIQQQQIIQQ")
+_SYM = struct.Struct("<IBBHQQ")
+_RELA = struct.Struct("<QQq")
+_DYN = struct.Struct("<qQ")
+
+
+@dataclass
+class Ehdr:
+    """ELF file header (64 bytes)."""
+
+    e_ident: bytes
+    e_type: int
+    e_machine: int
+    e_version: int
+    e_entry: int
+    e_phoff: int
+    e_shoff: int
+    e_flags: int
+    e_ehsize: int
+    e_phentsize: int
+    e_phnum: int
+    e_shentsize: int
+    e_shnum: int
+    e_shstrndx: int
+
+    SIZE = _EHDR.size  # 64
+
+    def pack(self) -> bytes:
+        return _EHDR.pack(
+            self.e_ident, self.e_type, self.e_machine, self.e_version,
+            self.e_entry, self.e_phoff, self.e_shoff, self.e_flags,
+            self.e_ehsize, self.e_phentsize, self.e_phnum,
+            self.e_shentsize, self.e_shnum, self.e_shstrndx,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Ehdr":
+        if len(data) < cls.SIZE:
+            raise ElfError("file too small for an ELF header")
+        return cls(*_EHDR.unpack_from(data))
+
+
+@dataclass
+class Phdr:
+    """Program header (56 bytes)."""
+
+    p_type: int
+    p_flags: int
+    p_offset: int
+    p_vaddr: int
+    p_paddr: int
+    p_filesz: int
+    p_memsz: int
+    p_align: int
+
+    SIZE = _PHDR.size  # 56
+
+    def pack(self) -> bytes:
+        return _PHDR.pack(
+            self.p_type, self.p_flags, self.p_offset, self.p_vaddr,
+            self.p_paddr, self.p_filesz, self.p_memsz, self.p_align,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "Phdr":
+        return cls(*_PHDR.unpack_from(data, offset))
+
+
+@dataclass
+class Shdr:
+    """Section header (64 bytes)."""
+
+    sh_name: int
+    sh_type: int
+    sh_flags: int
+    sh_addr: int
+    sh_offset: int
+    sh_size: int
+    sh_link: int
+    sh_info: int
+    sh_addralign: int
+    sh_entsize: int
+
+    SIZE = _SHDR.size  # 64
+
+    def pack(self) -> bytes:
+        return _SHDR.pack(
+            self.sh_name, self.sh_type, self.sh_flags, self.sh_addr,
+            self.sh_offset, self.sh_size, self.sh_link, self.sh_info,
+            self.sh_addralign, self.sh_entsize,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "Shdr":
+        return cls(*_SHDR.unpack_from(data, offset))
+
+
+@dataclass
+class Sym:
+    """Symbol table entry (24 bytes)."""
+
+    st_name: int
+    st_info: int
+    st_other: int
+    st_shndx: int
+    st_value: int
+    st_size: int
+
+    SIZE = _SYM.size  # 24
+
+    @property
+    def binding(self) -> int:
+        return self.st_info >> 4
+
+    @property
+    def type(self) -> int:
+        return self.st_info & 0xF
+
+    @staticmethod
+    def info(binding: int, sym_type: int) -> int:
+        return (binding << 4) | (sym_type & 0xF)
+
+    def pack(self) -> bytes:
+        return _SYM.pack(
+            self.st_name, self.st_info, self.st_other,
+            self.st_shndx, self.st_value, self.st_size,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "Sym":
+        return cls(*_SYM.unpack_from(data, offset))
+
+
+@dataclass
+class Rela:
+    """Relocation entry with addend (24 bytes)."""
+
+    r_offset: int
+    r_info: int
+    r_addend: int
+
+    SIZE = _RELA.size  # 24
+
+    @property
+    def sym(self) -> int:
+        return self.r_info >> 32
+
+    @property
+    def type(self) -> int:
+        return self.r_info & 0xFFFFFFFF
+
+    @staticmethod
+    def info(sym: int, rel_type: int) -> int:
+        return (sym << 32) | rel_type
+
+    def pack(self) -> bytes:
+        return _RELA.pack(self.r_offset, self.r_info, self.r_addend)
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "Rela":
+        return cls(*_RELA.unpack_from(data, offset))
+
+
+@dataclass
+class Dyn:
+    """Dynamic-section entry (16 bytes)."""
+
+    d_tag: int
+    d_val: int
+
+    SIZE = _DYN.size  # 16
+
+    def pack(self) -> bytes:
+        return _DYN.pack(self.d_tag, self.d_val)
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "Dyn":
+        return cls(*_DYN.unpack_from(data, offset))

@@ -1,0 +1,296 @@
+"""ELF64 image writer: statically-linked position-independent executables.
+
+Produces the exact binary format the paper's prototype consumes: 64-bit
+ELF, ``ET_DYN`` (PIE), statically linked, code and data in separate
+page-aligned ``PT_LOAD`` segments (EnGarde rejects pages with mixed code
+and data), full symbol table (EnGarde auto-rejects stripped binaries), and
+``R_X86_64_RELATIVE`` relocations reachable through ``PT_DYNAMIC`` /
+``DT_RELA`` as the in-enclave loader expects.
+
+File layout::
+
+    0x0000  Ehdr + 3 Phdrs
+    0x1000  .text                (PT_LOAD  R+X, vaddr 0x1000)
+    D       .rela.dyn .dynamic .data        (PT_LOAD  R+W)
+            .bss (vaddr-only, memsz > filesz)
+            .symtab .strtab .shstrtab       (not loaded)
+            section header table
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ElfError
+from .constants import (
+    DT_DEBUG, DT_FLAGS, DT_NULL, DT_RELA, DT_RELAENT, DT_RELASZ, DF_PIE_FLAG,
+    ELF_MAGIC, ELFCLASS64, ELFDATA2LSB, ELFOSABI_SYSV, EM_X86_64, ET_DYN,
+    EV_CURRENT, PAGE_SIZE, PF_R, PF_W, PF_X, PT_DYNAMIC, PT_LOAD,
+    R_X86_64_RELATIVE, SHF_ALLOC, SHF_EXECINSTR, SHF_WRITE, SHN_UNDEF,
+    SHT_DYNAMIC, SHT_NOBITS, SHT_NULL, SHT_PROGBITS, SHT_RELA, SHT_STRTAB,
+    SHT_SYMTAB, STB_GLOBAL, STB_LOCAL, STT_FUNC, STT_NOTYPE, STT_OBJECT,
+    TEXT_VADDR,
+)
+from .structs import Dyn, Ehdr, Phdr, Rela, Shdr, Sym
+
+__all__ = ["ElfSymbol", "Layout", "write_elf", "DYNAMIC_ENTRY_COUNT"]
+
+#: fixed .dynamic contents: RELA, RELASZ, RELAENT, FLAGS, DEBUG, NULL
+DYNAMIC_ENTRY_COUNT = 6
+
+
+def _align(value: int, boundary: int) -> int:
+    return (value + boundary - 1) & ~(boundary - 1)
+
+
+@dataclass(frozen=True)
+class ElfSymbol:
+    """A symbol to place in .symtab.
+
+    *vaddr* is the final virtual address (the linker computes it via
+    :class:`Layout` before calling :func:`write_elf`).
+    """
+
+    name: str
+    vaddr: int
+    size: int
+    kind: str = "func"      # "func" | "object" | "notype"
+    section: str = "text"   # "text" | "data" | "bss" | "abs"
+    binding: str = "global"  # "global" | "local"
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Virtual-address layout shared by the linker and the writer.
+
+    The linker needs final addresses *before* emitting the image (rel32
+    patches, relocation addends), so layout is a pure function of the
+    component sizes.
+    """
+
+    text_vaddr: int
+    text_size: int
+    rela_vaddr: int
+    rela_size: int
+    dynamic_vaddr: int
+    dynamic_size: int
+    data_vaddr: int
+    data_size: int
+    bss_vaddr: int
+    bss_size: int
+
+    @classmethod
+    def compute(
+        cls, text_size: int, n_relocs: int, data_size: int, bss_size: int
+    ) -> "Layout":
+        text_vaddr = TEXT_VADDR
+        seg2 = _align(text_vaddr + text_size, PAGE_SIZE)
+        rela_size = n_relocs * Rela.SIZE
+        dynamic_size = DYNAMIC_ENTRY_COUNT * Dyn.SIZE
+        rela_vaddr = seg2
+        dynamic_vaddr = rela_vaddr + rela_size
+        data_vaddr = _align(dynamic_vaddr + dynamic_size, 16)
+        bss_vaddr = _align(data_vaddr + data_size, 16)
+        return cls(
+            text_vaddr=text_vaddr, text_size=text_size,
+            rela_vaddr=rela_vaddr, rela_size=rela_size,
+            dynamic_vaddr=dynamic_vaddr, dynamic_size=dynamic_size,
+            data_vaddr=data_vaddr, data_size=data_size,
+            bss_vaddr=bss_vaddr, bss_size=bss_size,
+        )
+
+    @property
+    def data_segment_vaddr(self) -> int:
+        return self.rela_vaddr
+
+    @property
+    def data_segment_filesz(self) -> int:
+        return self.data_vaddr + self.data_size - self.rela_vaddr
+
+    @property
+    def data_segment_memsz(self) -> int:
+        return self.bss_vaddr + self.bss_size - self.rela_vaddr
+
+
+class _StrTab:
+    """Incremental string table builder."""
+
+    def __init__(self) -> None:
+        self._blob = bytearray(b"\x00")
+        self._index: dict[str, int] = {"": 0}
+
+    def add(self, name: str) -> int:
+        if name not in self._index:
+            self._index[name] = len(self._blob)
+            self._blob += name.encode() + b"\x00"
+        return self._index[name]
+
+    def bytes(self) -> bytes:
+        return bytes(self._blob)
+
+
+def write_elf(
+    *,
+    text: bytes,
+    data: bytes,
+    bss_size: int,
+    symbols: list[ElfSymbol],
+    relocations: list[tuple[int, int]],
+    entry_vaddr: int,
+    layout: Layout | None = None,
+) -> bytes:
+    """Serialise a PIE ELF64 image.
+
+    *relocations* are ``(slot_vaddr, target_vaddr)`` pairs, emitted as
+    ``R_X86_64_RELATIVE`` entries (load-time value = base + target_vaddr).
+    """
+    layout = layout or Layout.compute(len(text), len(relocations), len(data), bss_size)
+    if layout.text_size != len(text) or layout.data_size != len(data):
+        raise ElfError("layout does not match the supplied section sizes")
+    if not (layout.text_vaddr <= entry_vaddr < layout.text_vaddr + max(len(text), 1)):
+        raise ElfError(f"entry point {entry_vaddr:#x} is outside .text")
+
+    # ---- build the pieces ------------------------------------------------
+    rela_blob = b"".join(
+        Rela(slot, Rela.info(0, R_X86_64_RELATIVE), target).pack()
+        for slot, target in relocations
+    )
+    dynamic_blob = b"".join(
+        entry.pack()
+        for entry in (
+            Dyn(DT_RELA, layout.rela_vaddr),
+            Dyn(DT_RELASZ, layout.rela_size),
+            Dyn(DT_RELAENT, Rela.SIZE),
+            Dyn(DT_FLAGS, DF_PIE_FLAG),
+            Dyn(DT_DEBUG, 0),
+            Dyn(DT_NULL, 0),
+        )
+    )
+    assert len(rela_blob) == layout.rela_size
+    assert len(dynamic_blob) == layout.dynamic_size
+
+    strtab = _StrTab()
+    shstrtab = _StrTab()
+    section_index = {"text": 1, "rela": 2, "dynamic": 3, "data": 4, "bss": 5}
+    kind_map = {"func": STT_FUNC, "object": STT_OBJECT, "notype": STT_NOTYPE}
+    binding_map = {"local": STB_LOCAL, "global": STB_GLOBAL}
+
+    sym_entries = [Sym(0, 0, 0, SHN_UNDEF, 0, 0)]  # mandatory null symbol
+    # Locals must precede globals (sh_info = index of first global).
+    ordered = sorted(symbols, key=lambda s: s.binding != "local")
+    first_global = next(
+        (i + 1 for i, s in enumerate(ordered) if s.binding != "local"),
+        len(ordered) + 1,
+    )
+    for sym in ordered:
+        if sym.kind not in kind_map:
+            raise ElfError(f"unknown symbol kind {sym.kind!r} for {sym.name}")
+        sym_entries.append(
+            Sym(
+                st_name=strtab.add(sym.name),
+                st_info=Sym.info(binding_map[sym.binding], kind_map[sym.kind]),
+                st_other=0,
+                st_shndx=section_index.get(sym.section, SHN_UNDEF),
+                st_value=sym.vaddr,
+                st_size=sym.size,
+            )
+        )
+    symtab_blob = b"".join(s.pack() for s in sym_entries)
+    strtab_blob = strtab.bytes()
+
+    # ---- file layout -----------------------------------------------------
+    phnum = 3
+    text_off = PAGE_SIZE
+    if Ehdr.SIZE + phnum * Phdr.SIZE > text_off:
+        raise ElfError("headers overflow the first page")
+    seg2_off = _align(text_off + len(text), PAGE_SIZE)
+    rela_off = seg2_off
+    dynamic_off = rela_off + len(rela_blob)
+    # Keep file offsets congruent with vaddrs inside the data segment.
+    data_off = seg2_off + (layout.data_vaddr - layout.rela_vaddr)
+    seg2_filesz = layout.data_segment_filesz
+    symtab_off = _align(seg2_off + seg2_filesz, 8)
+    strtab_off = symtab_off + len(symtab_blob)
+    shstrtab_off = strtab_off + len(strtab_blob)
+
+    # ---- section headers ---------------------------------------------------
+    def shdr(name: str, **kw) -> Shdr:
+        return Shdr(sh_name=shstrtab.add(name), **kw)
+
+    sections = [
+        Shdr(0, SHT_NULL, 0, 0, 0, 0, 0, 0, 0, 0),
+        shdr(".text", sh_type=SHT_PROGBITS, sh_flags=SHF_ALLOC | SHF_EXECINSTR,
+             sh_addr=layout.text_vaddr, sh_offset=text_off, sh_size=len(text),
+             sh_link=0, sh_info=0, sh_addralign=32, sh_entsize=0),
+        shdr(".rela.dyn", sh_type=SHT_RELA, sh_flags=SHF_ALLOC,
+             sh_addr=layout.rela_vaddr, sh_offset=rela_off, sh_size=len(rela_blob),
+             sh_link=6, sh_info=0, sh_addralign=8, sh_entsize=Rela.SIZE),
+        shdr(".dynamic", sh_type=SHT_DYNAMIC, sh_flags=SHF_ALLOC | SHF_WRITE,
+             sh_addr=layout.dynamic_vaddr, sh_offset=dynamic_off,
+             sh_size=len(dynamic_blob), sh_link=7, sh_info=0,
+             sh_addralign=8, sh_entsize=Dyn.SIZE),
+        shdr(".data", sh_type=SHT_PROGBITS, sh_flags=SHF_ALLOC | SHF_WRITE,
+             sh_addr=layout.data_vaddr, sh_offset=data_off, sh_size=len(data),
+             sh_link=0, sh_info=0, sh_addralign=16, sh_entsize=0),
+        shdr(".bss", sh_type=SHT_NOBITS, sh_flags=SHF_ALLOC | SHF_WRITE,
+             sh_addr=layout.bss_vaddr, sh_offset=data_off + len(data),
+             sh_size=bss_size, sh_link=0, sh_info=0, sh_addralign=16, sh_entsize=0),
+        shdr(".symtab", sh_type=SHT_SYMTAB, sh_flags=0,
+             sh_addr=0, sh_offset=symtab_off, sh_size=len(symtab_blob),
+             sh_link=7, sh_info=first_global, sh_addralign=8, sh_entsize=Sym.SIZE),
+        shdr(".strtab", sh_type=SHT_STRTAB, sh_flags=0,
+             sh_addr=0, sh_offset=strtab_off, sh_size=len(strtab_blob),
+             sh_link=0, sh_info=0, sh_addralign=1, sh_entsize=0),
+        shdr(".shstrtab", sh_type=SHT_STRTAB, sh_flags=0,
+             sh_addr=0, sh_offset=shstrtab_off, sh_size=0,  # patched below
+             sh_link=0, sh_info=0, sh_addralign=1, sh_entsize=0),
+    ]
+    shstrtab_blob = shstrtab.bytes()
+    sections[-1].sh_size = len(shstrtab_blob)
+    shoff = _align(shstrtab_off + len(shstrtab_blob), 8)
+
+    # ---- program headers ---------------------------------------------------
+    phdrs = [
+        Phdr(PT_LOAD, PF_R | PF_X, text_off, layout.text_vaddr, layout.text_vaddr,
+             len(text), len(text), PAGE_SIZE),
+        Phdr(PT_LOAD, PF_R | PF_W, seg2_off, layout.data_segment_vaddr,
+             layout.data_segment_vaddr, seg2_filesz,
+             layout.data_segment_memsz, PAGE_SIZE),
+        Phdr(PT_DYNAMIC, PF_R | PF_W, dynamic_off, layout.dynamic_vaddr,
+             layout.dynamic_vaddr, len(dynamic_blob), len(dynamic_blob), 8),
+    ]
+
+    ident = bytearray(16)
+    ident[:4] = ELF_MAGIC
+    ident[4] = ELFCLASS64
+    ident[5] = ELFDATA2LSB
+    ident[6] = EV_CURRENT
+    ident[7] = ELFOSABI_SYSV
+    ehdr = Ehdr(
+        e_ident=bytes(ident), e_type=ET_DYN, e_machine=EM_X86_64,
+        e_version=EV_CURRENT, e_entry=entry_vaddr, e_phoff=Ehdr.SIZE,
+        e_shoff=shoff, e_flags=0, e_ehsize=Ehdr.SIZE,
+        e_phentsize=Phdr.SIZE, e_phnum=phnum,
+        e_shentsize=Shdr.SIZE, e_shnum=len(sections), e_shstrndx=len(sections) - 1,
+    )
+
+    # ---- assemble the file -------------------------------------------------
+    blob = bytearray()
+    blob += ehdr.pack()
+    for ph in phdrs:
+        blob += ph.pack()
+    blob += b"\x00" * (text_off - len(blob))
+    blob += text
+    blob += b"\x00" * (seg2_off - len(blob))
+    blob += rela_blob
+    blob += dynamic_blob
+    blob += b"\x00" * (data_off - len(blob))
+    blob += data
+    blob += b"\x00" * (symtab_off - len(blob))
+    blob += symtab_blob
+    blob += strtab_blob
+    blob += shstrtab_blob
+    blob += b"\x00" * (shoff - len(blob))
+    for sh in sections:
+        blob += sh.pack()
+    return bytes(blob)

@@ -1,0 +1,13 @@
+"""Experiment harness: regenerates every table and figure in the paper."""
+
+from .export import cells_to_csv, cells_to_json, figure_to_dict
+from .loc import component_loc, render_loc_table
+from .runner import CellResult, POLICY_SETUPS, run_cell, run_figure
+from .tables import PAPER_DATA, render_comparison, render_figure
+
+__all__ = [
+    "run_cell", "run_figure", "CellResult", "POLICY_SETUPS",
+    "render_figure", "render_comparison", "PAPER_DATA",
+    "component_loc", "render_loc_table",
+    "cells_to_json", "cells_to_csv", "figure_to_dict",
+]

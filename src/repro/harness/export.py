@@ -1,0 +1,56 @@
+"""Export measured results as JSON/CSV for downstream analysis/plotting."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from .runner import CellResult
+from .tables import PAPER_DATA
+
+__all__ = ["cells_to_json", "cells_to_csv", "figure_to_dict"]
+
+_FIELDS = (
+    "benchmark", "policy", "insn_count",
+    "disassembly_cycles", "policy_cycles", "loading_cycles",
+    "sgx_instructions", "total_cycles", "accepted",
+)
+
+
+def figure_to_dict(cells: list[CellResult], figure: int | None = None) -> dict:
+    """A JSON-ready structure, optionally annotated with paper ratios."""
+    rows = []
+    for cell in cells:
+        row = {name: getattr(cell, name) for name in _FIELDS}
+        if figure is not None:
+            paper = PAPER_DATA[figure][cell.benchmark]
+            row["paper"] = {
+                "insn_count": paper[0],
+                "disassembly_cycles": paper[1],
+                "policy_cycles": paper[2],
+                "loading_cycles": paper[3],
+            }
+            row["ratios"] = {
+                "insn_count": round(cell.insn_count / paper[0], 4),
+                "disassembly_cycles": round(cell.disassembly_cycles / paper[1], 4),
+                "policy_cycles": round(cell.policy_cycles / paper[2], 4),
+                "loading_cycles": round(cell.loading_cycles / paper[3], 4),
+            }
+        rows.append(row)
+    return {"figure": figure, "cells": rows}
+
+
+def cells_to_json(cells: list[CellResult], figure: int | None = None) -> str:
+    """Serialise results (with paper comparison when *figure* is given)."""
+    return json.dumps(figure_to_dict(cells, figure), indent=2)
+
+
+def cells_to_csv(cells: list[CellResult]) -> str:
+    """Flat CSV with one row per (benchmark, policy) cell."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_FIELDS)
+    for cell in cells:
+        writer.writerow([getattr(cell, name) for name in _FIELDS])
+    return buffer.getvalue()

@@ -1,0 +1,85 @@
+"""Render Figure 3/4/5-style tables and paper-vs-measured comparisons."""
+
+from __future__ import annotations
+
+from .runner import CellResult
+
+__all__ = ["render_figure", "render_comparison", "PAPER_DATA"]
+
+#: the paper's reported numbers: figure -> benchmark -> row
+#: (insns, disassembly, policy checking, loading and relocation)
+PAPER_DATA: dict[int, dict[str, tuple[int, int, int, int]]] = {
+    3: {  # library-linking policy
+        "nginx": (262_228, 694_405_019, 1_307_411_662, 128_696),
+        "bzip2": (24_112, 34_071_240, 148_922_245, 4_239),
+        "graph500": (100_411, 140_307_017, 246_669_796, 4_582),
+        "mcf": (12_903, 18_242_127, 123_895_553, 4_363),
+        "memcached": (71_437, 137_372_517, 489_914_732, 8_115),
+        "netperf": (51_403, 90_616_563, 367_356_878, 18_090),
+        "otp-gen": (28_125, 42_823_024, 198_587_525, 5_388),
+    },
+    4: {  # stack-protection policy
+        "nginx": (271_106, 719_360_640, 713_772_098, 128_662),
+        "bzip2": (24_226, 34_292_136, 862_023_613, 4_206),
+        "graph500": (100_488, 140_588_361, 195_218_892, 4_548),
+        "mcf": (12_985, 18_288_921, 31_459_881, 4_330),
+        "memcached": (71_677, 137_877_497, 325_442_403, 8_081),
+        "netperf": (51_868, 91_577_335, 183_274_713, 18_057),
+        "otp-gen": (28_217, 43_053_386, 217_302_816, 5_355),
+    },
+    5: {  # indirect function-call (IFCC) policy
+        "nginx": (267_669, 821_734_999, 20_843_253, 128_668),
+        "bzip2": (24_201, 34_235_817, 1_751_276, 4_206),
+        "graph500": (100_424, 140_429_738, 7_014_913, 4_548),
+        "mcf": (12_903, 18_242_127, 1_177_429, 4_330),
+        "memcached": (71_508, 138_231_446, 5_301_168, 8_081),
+        "netperf": (51_431, 91_161_601, 3_775_318, 18_057),
+        "otp-gen": (28_132, 42_829_680, 2_334_847, 5_355),
+    },
+}
+
+_PAPER_NAMES = {
+    "nginx": "Nginx", "bzip2": "401.bzip2", "graph500": "Graph-500",
+    "mcf": "429.mcf", "memcached": "Memcached", "netperf": "Netperf",
+    "otp-gen": "Otp-gen",
+}
+
+_HEADER = (
+    f"{'Benchmark':<12} {'#Inst.':>10} {'Disassembly':>16} "
+    f"{'Policy Checking':>16} {'Loading/Reloc':>14}"
+)
+
+
+def render_figure(results: list[CellResult], title: str) -> str:
+    """A paper-style table for one figure's measured results."""
+    lines = [title, "=" * len(title), _HEADER, "-" * len(_HEADER)]
+    for cell in results:
+        lines.append(
+            f"{_PAPER_NAMES.get(cell.benchmark, cell.benchmark):<12} "
+            f"{cell.insn_count:>10,} {cell.disassembly_cycles:>16,} "
+            f"{cell.policy_cycles:>16,} {cell.loading_cycles:>14,}"
+        )
+    return "\n".join(lines)
+
+
+def render_comparison(results: list[CellResult], figure: int) -> str:
+    """Measured-vs-paper, with per-cell ratios (measured / paper)."""
+    paper = PAPER_DATA[figure]
+    title = f"Figure {figure}: measured vs paper (ratio = measured/paper)"
+    header = (
+        f"{'Benchmark':<12} {'#Inst':>9} {'ratio':>6} | "
+        f"{'Disasm (cyc)':>14} {'ratio':>6} | "
+        f"{'Policy (cyc)':>14} {'ratio':>6} | "
+        f"{'Load (cyc)':>11} {'ratio':>6}"
+    )
+    lines = [title, "=" * len(title), header, "-" * len(header)]
+    for cell in results:
+        p = paper[cell.benchmark]
+        lines.append(
+            f"{_PAPER_NAMES[cell.benchmark]:<12} "
+            f"{cell.insn_count:>9,} {cell.insn_count / p[0]:>6.2f} | "
+            f"{cell.disassembly_cycles:>14,} {cell.disassembly_cycles / p[1]:>6.2f} | "
+            f"{cell.policy_cycles:>14,} {cell.policy_cycles / p[2]:>6.2f} | "
+            f"{cell.loading_cycles:>11,} {cell.loading_cycles / p[3]:>6.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,11 @@
+"""Simulated networking: an in-memory, deterministic duplex socket pair.
+
+The paper's enclave "establishes a socket connection to the client machine".
+Real sockets would add nondeterminism and no fidelity — the interesting
+behaviour is the framing and the crypto above it — so the reproduction uses
+an in-process duplex pipe with length-prefixed message framing.
+"""
+
+from .sock import SocketPair, SimSocket
+
+__all__ = ["SocketPair", "SimSocket"]

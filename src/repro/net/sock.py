@@ -1,0 +1,90 @@
+"""In-memory duplex sockets with length-prefixed message framing."""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+
+from ..errors import NetError
+
+__all__ = ["SimSocket", "SocketPair"]
+
+_LEN = struct.Struct(">I")
+MAX_MESSAGE = 64 * 1024 * 1024  # 64 MiB; larger frames indicate a bug
+
+
+class SimSocket:
+    """One endpoint of an in-memory duplex connection.
+
+    Messages are atomic byte strings.  ``send`` appends to the peer's inbox;
+    ``recv`` pops from this endpoint's inbox.  Because the simulation is
+    single-threaded and protocol-driven, ``recv`` on an empty inbox is a
+    protocol error rather than a blocking wait.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._inbox: deque[bytes] = deque()
+        self._peer: "SimSocket | None" = None
+        self._closed = False
+        #: running totals, used by tests asserting what crosses the boundary
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def _attach(self, peer: "SimSocket") -> None:
+        self._peer = peer
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def send(self, message: bytes) -> None:
+        """Send one framed message to the peer."""
+        if self._closed:
+            raise NetError(f"{self.name}: send on closed socket")
+        if self._peer is None or self._peer._closed:
+            raise NetError(f"{self.name}: peer is closed")
+        if len(message) > MAX_MESSAGE:
+            raise NetError(f"{self.name}: message of {len(message)} bytes exceeds frame limit")
+        # The length prefix is what a real TCP framing layer would add; we
+        # keep it so byte accounting matches a wire protocol.
+        self._peer._inbox.append(_LEN.pack(len(message)) + message)
+        self.bytes_sent += _LEN.size + len(message)
+
+    def recv(self) -> bytes:
+        """Receive one framed message, verifying the frame header."""
+        if self._closed:
+            raise NetError(f"{self.name}: recv on closed socket")
+        if not self._inbox:
+            raise NetError(f"{self.name}: recv would block (no pending message)")
+        frame = self._inbox.popleft()
+        (length,) = _LEN.unpack_from(frame)
+        body = frame[_LEN.size:]
+        if len(body) != length:
+            raise NetError(f"{self.name}: corrupt frame (header {length}, body {len(body)})")
+        self.bytes_received += len(frame)
+        return body
+
+    def pending(self) -> int:
+        """Number of messages waiting to be received."""
+        return len(self._inbox)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else f"{len(self._inbox)} pending"
+        return f"<SimSocket {self.name}: {state}>"
+
+
+class SocketPair:
+    """A connected pair of :class:`SimSocket` endpoints."""
+
+    def __init__(self, left_name: str = "client", right_name: str = "enclave") -> None:
+        self.left = SimSocket(left_name)
+        self.right = SimSocket(right_name)
+        self.left._attach(self.right)
+        self.right._attach(self.left)
+
+    def __iter__(self):
+        return iter((self.left, self.right))

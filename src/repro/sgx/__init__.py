@@ -1,0 +1,32 @@
+"""Software SGX machine (OpenSGX analogue).
+
+The paper builds EnGarde on OpenSGX, a QEMU-based SGX emulator, because
+(1) open-source SGX tooling was rudimentary and (2) EnGarde needs SGX2's
+EPC-level page-permission instructions, which no shipping silicon had.
+This package is our Python equivalent: an EPC with hardware-keyed page
+encryption, the enclave lifecycle and measurement semantics, SGX2 dynamic
+memory instructions, a host OS with the trampoline mechanism, and
+EPID-style quote-based attestation — all charging the same
+10K-cycles-per-SGX-instruction cost model the paper's evaluation uses.
+"""
+
+from .attestation import AttestationService, Quote, QuotingEnclave, verify_quote
+from .cpu import CostModel, CycleMeter, PhaseBreakdown
+from .enclave import Enclave, EnclaveState, Secs
+from .epc import Epc, EpcPage, PagePermissions
+from .host import EnclaveRuntime, HostOS, PteFlags
+from .isa import Report, SgxMachine
+from .paging import EvictedPage, VersionArray
+from .measurement import Measurement
+from .params import ENGARDE_DEFAULT, OPENSGX_DEFAULT, PAGE_SIZE, SgxParams
+
+__all__ = [
+    "SgxMachine", "Report", "EvictedPage", "VersionArray",
+    "Enclave", "EnclaveState", "Secs",
+    "Epc", "EpcPage", "PagePermissions",
+    "Measurement",
+    "HostOS", "EnclaveRuntime", "PteFlags",
+    "CycleMeter", "CostModel", "PhaseBreakdown",
+    "QuotingEnclave", "Quote", "verify_quote", "AttestationService",
+    "SgxParams", "OPENSGX_DEFAULT", "ENGARDE_DEFAULT", "PAGE_SIZE",
+]

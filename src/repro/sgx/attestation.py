@@ -1,0 +1,127 @@
+"""Remote attestation: the quoting enclave and client-side verification.
+
+Follows the paper's description (section 2, "Attesting and Provisioning
+Enclaves"): each machine carries an Intel-provisioned *quoting enclave*
+that turns an EREPORT (MAC'd with a machine-local report key) into a
+*quote* signed with a device-specific private key (EPID in real SGX; a
+device RSA key here — the group-signature privacy property of EPID is out
+of scope, the authentication property is what EnGarde relies on).
+
+The freshly-generated channel public key's fingerprint travels in the
+report data, giving the client a hardware-rooted binding between "the
+enclave whose measurement I verified" and "the key I am about to encrypt
+my AES session key under".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto import HmacDrbg, RsaPrivateKey, RsaPublicKey, generate_keypair
+from ..errors import AttestationError
+from .isa import Report, SgxMachine
+
+__all__ = ["Quote", "QuotingEnclave", "verify_quote", "AttestationService"]
+
+#: key size for the simulated EPID device key; small enough to keep tests
+#: fast, large enough for our from-scratch RSA to be exercised properly.
+DEVICE_KEY_BITS = 1024
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A signed attestation quote: report body + device signature."""
+
+    mrenclave: bytes
+    attributes: int
+    report_data: bytes
+    challenge: bytes
+    signature: bytes
+
+    def signed_body(self) -> bytes:
+        return (
+            b"SGX-QUOTE"
+            + self.mrenclave
+            + self.attributes.to_bytes(8, "little")
+            + self.report_data
+            + self.challenge
+        )
+
+
+class QuotingEnclave:
+    """The Intel-provisioned quoting enclave of one machine."""
+
+    def __init__(self, machine: SgxMachine, rng: HmacDrbg) -> None:
+        self._machine = machine
+        self._device_key: RsaPrivateKey = generate_keypair(DEVICE_KEY_BITS, rng)
+
+    @property
+    def device_public_key(self) -> RsaPublicKey:
+        """Published by the attestation service (Intel IAS analogue)."""
+        return self._device_key.public_key
+
+    def quote(self, report: Report, challenge: bytes) -> Quote:
+        """Verify the report MAC and sign a quote over it + the challenge."""
+        if not self._machine.verify_report(report):
+            raise AttestationError("report MAC invalid: not from this machine")
+        quote = Quote(
+            mrenclave=report.mrenclave,
+            attributes=report.attributes,
+            report_data=report.report_data,
+            challenge=challenge,
+            signature=b"",
+        )
+        signature = self._device_key.sign(quote.signed_body())
+        return Quote(
+            mrenclave=quote.mrenclave,
+            attributes=quote.attributes,
+            report_data=quote.report_data,
+            challenge=quote.challenge,
+            signature=signature,
+        )
+
+
+def verify_quote(
+    quote: Quote,
+    device_public_key: RsaPublicKey,
+    *,
+    expected_mrenclave: bytes,
+    challenge: bytes,
+) -> None:
+    """Client-side quote verification; raises :class:`AttestationError`.
+
+    Checks, in order: the device signature (machine authenticity), the
+    challenge (freshness), and MRENCLAVE (the enclave really runs the
+    EnGarde build both parties reviewed).
+    """
+    if not device_public_key.verify(quote.signed_body(), quote.signature):
+        raise AttestationError("quote signature verification failed")
+    if quote.challenge != challenge:
+        raise AttestationError("stale quote: challenge mismatch")
+    if quote.mrenclave != expected_mrenclave:
+        raise AttestationError(
+            "MRENCLAVE mismatch: enclave does not contain the agreed "
+            f"EnGarde build (got {quote.mrenclave.hex()[:16]}..., "
+            f"expected {expected_mrenclave.hex()[:16]}...)"
+        )
+
+
+class AttestationService:
+    """Registry of device public keys (the Intel IAS analogue).
+
+    Clients fetch the device key for the machine they are attesting
+    against; in the real ecosystem this trust is rooted in Intel's EPID
+    group public keys.
+    """
+
+    def __init__(self) -> None:
+        self._keys: dict[str, RsaPublicKey] = {}
+
+    def register(self, machine_id: str, key: RsaPublicKey) -> None:
+        self._keys[machine_id] = key
+
+    def device_key(self, machine_id: str) -> RsaPublicKey:
+        try:
+            return self._keys[machine_id]
+        except KeyError:
+            raise AttestationError(f"unknown machine {machine_id!r}") from None

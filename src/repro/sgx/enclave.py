@@ -1,0 +1,124 @@
+"""Enclave state: SECS, page map, and page-granular memory access.
+
+An enclave is "a linear span of a process's virtual address space whose
+physical pages are drawn from the EPC" (paper section 2).  This module
+holds the per-enclave bookkeeping; the lifecycle instructions that mutate
+it live in :mod:`repro.sgx.isa`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import SgxError
+from .epc import Epc, EpcPage
+from .measurement import Measurement
+from .params import PAGE_SIZE
+
+__all__ = ["Enclave", "EnclaveState", "Secs"]
+
+
+class EnclaveState(enum.Enum):
+    PENDING = "pending"          # ECREATE done, pages being added
+    INITIALIZED = "initialized"  # EINIT done, can be entered
+
+
+@dataclass
+class Secs:
+    """SGX Enclave Control Structure (the fields this simulation uses)."""
+
+    base: int
+    size: int
+    attributes: int = 0
+    mrenclave: bytes = b""
+
+
+@dataclass
+class Enclave:
+    """A live enclave: SECS + EPC page map + measurement state."""
+
+    eid: int
+    secs: Secs
+    epc: Epc
+    measurement: Measurement = field(default_factory=Measurement)
+    state: EnclaveState = EnclaveState.PENDING
+    #: set by EnGarde's host component after provisioning: no more pages
+    sealed: bool = False
+    pages: dict[int, EpcPage] = field(default_factory=dict)
+    entered: int = 0  # number of threads currently inside
+
+    # ------------------------------------------------------------ ranges
+
+    def contains(self, vaddr: int, length: int = 1) -> bool:
+        return (
+            self.secs.base <= vaddr
+            and vaddr + length <= self.secs.base + self.secs.size
+        )
+
+    def page_at(self, vaddr: int) -> EpcPage:
+        page_vaddr = vaddr & ~(PAGE_SIZE - 1)
+        try:
+            return self.pages[page_vaddr]
+        except KeyError:
+            raise SgxError(
+                f"enclave {self.eid}: no EPC page mapped at {page_vaddr:#x}"
+            ) from None
+
+    @property
+    def page_count(self) -> int:
+        return len(self.pages)
+
+    @property
+    def mrenclave(self) -> bytes:
+        return self.measurement.mrenclave
+
+    # ------------------------------------------------- memory accessors
+    #
+    # These model accesses *from a thread executing inside the enclave*:
+    # the hardware decrypts EPC lines transparently.  Permission bits are
+    # enforced against the EPCM (SGX2 semantics).
+
+    def read(self, vaddr: int, length: int) -> bytes:
+        if not self.contains(vaddr, length):
+            raise SgxError(f"read of {vaddr:#x}+{length} outside ELRANGE")
+        out = bytearray()
+        pos = vaddr
+        remaining = length
+        while remaining > 0:
+            page = self.page_at(pos)
+            if not page.perms.read:
+                raise SgxError(f"read permission fault at {pos:#x}")
+            offset = pos % PAGE_SIZE
+            take = min(PAGE_SIZE - offset, remaining)
+            plain = self.epc.read_plaintext(page, eid=self.eid)
+            out += plain[offset:offset + take]
+            pos += take
+            remaining -= take
+        return bytes(out)
+
+    def write(self, vaddr: int, data: bytes) -> None:
+        if not self.contains(vaddr, len(data)):
+            raise SgxError(f"write of {vaddr:#x}+{len(data)} outside ELRANGE")
+        pos = vaddr
+        view = memoryview(bytes(data))
+        while view:
+            page = self.page_at(pos)
+            if not page.perms.write:
+                raise SgxError(f"write permission fault at {pos:#x}")
+            offset = pos % PAGE_SIZE
+            take = min(PAGE_SIZE - offset, len(view))
+            plain = bytearray(self.epc.read_plaintext(page, eid=self.eid))
+            plain[offset:offset + take] = view[:take]
+            self.epc.write_plaintext(page, bytes(plain), eid=self.eid)
+            pos += take
+            view = view[take:]
+
+    def fetch_code(self, vaddr: int, length: int) -> bytes:
+        """An instruction fetch: requires execute permission."""
+        if not self.contains(vaddr, length):
+            raise SgxError(f"fetch of {vaddr:#x}+{length} outside ELRANGE")
+        page = self.page_at(vaddr)
+        if not page.perms.execute:
+            raise SgxError(f"execute permission fault at {vaddr:#x}")
+        return self.read(vaddr, length)

@@ -1,0 +1,65 @@
+"""Enclave measurement (MRENCLAVE).
+
+SGX builds a SHA-256 digest of "a log of all activities during enclave
+initialization" (paper section 2): ECREATE contributes the enclave's
+shape, each EADD contributes the page's address and security attributes,
+and EEXTEND contributes the page *contents* in 256-byte chunks.  EINIT
+finalises the digest.  Identical build sequences therefore yield identical
+MRENCLAVE values — the property attestation relies on.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..crypto.sha256 import SHA256
+from ..errors import SgxError
+
+__all__ = ["Measurement"]
+
+
+class Measurement:
+    """Incremental MRENCLAVE builder mirroring the SGX measurement log."""
+
+    def __init__(self) -> None:
+        self._hash = SHA256()
+        self._final: bytes | None = None
+        self.log: list[str] = []
+
+    @property
+    def finalized(self) -> bool:
+        return self._final is not None
+
+    def _absorb(self, tag: bytes, payload: bytes) -> None:
+        if self._final is not None:
+            raise SgxError("measurement already finalised by EINIT")
+        record = tag.ljust(8, b"\x00") + payload
+        self._hash.update(struct.pack("<I", len(record)) + record)
+
+    def ecreate(self, base: int, size: int, attributes: int) -> None:
+        self._absorb(b"ECREATE", struct.pack("<QQQ", base, size, attributes))
+        self.log.append(f"ECREATE base={base:#x} size={size:#x}")
+
+    def eadd(self, vaddr: int, page_type: str, perms: str) -> None:
+        self._absorb(
+            b"EADD",
+            struct.pack("<Q", vaddr) + page_type.encode() + perms.encode(),
+        )
+        self.log.append(f"EADD vaddr={vaddr:#x} type={page_type} perms={perms}")
+
+    def eextend(self, vaddr: int, chunk: bytes) -> None:
+        self._absorb(b"EEXTEND", struct.pack("<Q", vaddr) + chunk)
+        self.log.append(f"EEXTEND vaddr={vaddr:#x} len={len(chunk)}")
+
+    def finalize(self) -> bytes:
+        """EINIT: freeze and return MRENCLAVE."""
+        if self._final is None:
+            self._final = self._hash.digest()
+            self.log.append("EINIT")
+        return self._final
+
+    @property
+    def mrenclave(self) -> bytes:
+        if self._final is None:
+            raise SgxError("enclave not yet initialised (no EINIT)")
+        return self._final

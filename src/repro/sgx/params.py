@@ -1,0 +1,47 @@
+"""SGX machine parameters.
+
+Defaults mirror OpenSGX as the paper describes modifying it (section 4,
+"Modifications to OpenSGX"): OpenSGX ships with 2 000 EPC pages and 300
+initial heap pages; EnGarde raises these to 32 000 (128 MiB) and 5 000.
+The 10 000-cycles-per-SGX-instruction constant is the cost model the paper
+adopts from the OpenSGX paper for its evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SgxParams", "OPENSGX_DEFAULT", "ENGARDE_DEFAULT", "PAGE_SIZE"]
+
+PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class SgxParams:
+    """Tunable parameters of the simulated SGX machine."""
+
+    #: number of pages in the Encrypted Page Cache
+    epc_pages: int = 32_000
+    #: pages pre-committed to the in-enclave heap at build time
+    heap_initial_pages: int = 5_000
+    #: cycle cost charged per SGX instruction (OpenSGX evaluation model)
+    sgx_instruction_cycles: int = 10_000
+    #: bytes per EPC page
+    page_size: int = PAGE_SIZE
+    #: EEXTEND measures the enclave in chunks of this many bytes
+    eextend_chunk: int = 256
+    #: emulate SGX2 (EAUG/EMODPR/EMODPE).  EnGarde *requires* SGX2 for
+    #: hardware-level page-permission enforcement (paper section 3); with
+    #: SGX1 the permission check is software-only and attackable.
+    sgx2: bool = True
+
+    @property
+    def epc_bytes(self) -> int:
+        return self.epc_pages * self.page_size
+
+
+#: OpenSGX out-of-the-box configuration
+OPENSGX_DEFAULT = SgxParams(epc_pages=2_000, heap_initial_pages=300)
+
+#: the paper's modified configuration (128 MiB EPC)
+ENGARDE_DEFAULT = SgxParams()

@@ -1,0 +1,27 @@
+"""Mini toolchain: the clang/LLVM + musl stand-in.
+
+Program specs (:mod:`ir`) are compiled (:mod:`codegen`) with optional
+stack-protector and IFCC instrumentation, statically linked against the
+synthetic musl (:mod:`libc`, :mod:`linker`) into real ELF64 PIEs.  The
+seven paper benchmarks live in :mod:`workloads`.
+"""
+
+from .codegen import (
+    CompiledFunction,
+    CompiledProgram,
+    Compiler,
+    CompilerFlags,
+    JUMP_TABLE_PREFIX,
+    STACK_CHK_FAIL,
+)
+from .ir import DataObject, FunctionSpec, ProgramSpec
+from .libc import LibcBuild, LibcFunction, MUSL_FUNCTIONS, MUSL_VERSION, build_libc
+from .linker import LinkedBinary, link
+
+__all__ = [
+    "FunctionSpec", "DataObject", "ProgramSpec",
+    "Compiler", "CompilerFlags", "CompiledFunction", "CompiledProgram",
+    "JUMP_TABLE_PREFIX", "STACK_CHK_FAIL",
+    "build_libc", "LibcBuild", "LibcFunction", "MUSL_FUNCTIONS", "MUSL_VERSION",
+    "link", "LinkedBinary",
+]

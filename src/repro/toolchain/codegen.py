@@ -1,0 +1,345 @@
+"""The mini compiler: program specs -> real x86-64, with instrumentation.
+
+Stands in for the paper's clang/LLVM 3.6 toolchain.  Two instrumentation
+passes reproduce byte-exactly the idioms the policy modules look for:
+
+* **StackProtectorPass** (``-fstack-protector-all``)::
+
+      prologue:  mov %fs:0x28,%rax        64 48 8b 04 25 28 00 00 00
+                 mov %rax,(%rsp)          48 89 04 24
+      epilogue:  mov %fs:0x28,%rax
+                 cmp (%rsp),%rax          48 3b 04 24
+                 jne .Lchk_fail
+                 ...ret...
+      .Lchk_fail: callq __stack_chk_fail
+
+* **IfccPass** (LLVM forward-edge CFI, reviews.llvm.org/D4167)::
+
+      call site: mov  __fnptr_slot(%rip),%rcx
+                 lea  __llvm_jump_instr_table_0_0(%rip),%rax
+                 sub  %eax,%ecx
+                 and  $<table_bytes-8>,%rcx
+                 add  %rax,%rcx
+                 callq *%rcx
+      table:     8-byte entries of "jmpq <fn>; nopl (%rax)"
+
+Without IFCC, indirect calls load the raw function pointer and call it.
+Pointer slots live in .data and carry ``R_X86_64_RELATIVE`` relocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto import HmacDrbg
+from ..errors import ToolchainError
+from ..x86 import Assembler, ExternalFixup, Mem
+from ..x86.registers import R8, R9, RAX, RBP, RCX, RDI, RDX, RSI, RSP, Reg
+from .ir import DataObject, FunctionSpec, ProgramSpec
+
+__all__ = [
+    "CompilerFlags", "CompiledFunction", "CompiledProgram", "Compiler",
+    "JUMP_TABLE_PREFIX", "STACK_CHK_FAIL",
+]
+
+JUMP_TABLE_PREFIX = "__llvm_jump_instr_table_0_"
+STACK_CHK_FAIL = "__stack_chk_fail"
+CANARY_FS_OFFSET = 0x28
+
+_SCRATCH: tuple[Reg, ...] = (RAX, RCX, RDX, RSI, RDI, R8, R9)
+
+
+@dataclass(frozen=True)
+class CompilerFlags:
+    """Instrumentation switches (clang flag analogues)."""
+
+    stack_protector: bool = False  # -fstack-protector-all
+    ifcc: bool = False             # -fcfi / IFCC patch
+
+
+@dataclass
+class CompiledFunction:
+    """One compiled text block (a function or the IFCC jump table)."""
+
+    name: str
+    code: bytes
+    insn_count: int
+    fixups: list[ExternalFixup] = field(default_factory=list)
+    #: additional symbols inside this block: (name, offset, size)
+    extra_symbols: list[tuple[str, int, int]] = field(default_factory=list)
+
+
+@dataclass
+class CompiledProgram:
+    """Compiler output, ready for the static linker."""
+
+    name: str
+    flags: CompilerFlags
+    functions: list[CompiledFunction]
+    data_objects: list[DataObject]
+    libc_imports: list[str]
+    bss_size: int
+    entry: str
+
+    @property
+    def insn_count(self) -> int:
+        return sum(f.insn_count for f in self.functions)
+
+
+class Compiler:
+    """Compiles a :class:`~repro.toolchain.ir.ProgramSpec`."""
+
+    def __init__(self, flags: CompilerFlags | None = None) -> None:
+        self.flags = flags or CompilerFlags()
+
+    def compile(self, program: ProgramSpec) -> CompiledProgram:
+        program.validate()
+        drbg = HmacDrbg(b"cc-" + program.name.encode() + program.seed)
+
+        address_taken = [f.name for f in program.functions if f.address_taken]
+        table_entries = 0
+        entry_symbol_of: dict[str, str] = {}
+        if self.flags.ifcc and address_taken:
+            table_entries = _next_pow2(max(len(address_taken), 2))
+            entry_symbol_of = {
+                name: f"{JUMP_TABLE_PREFIX}{i}"
+                for i, name in enumerate(address_taken)
+            }
+        self._table_bytes = table_entries * 8
+
+        data_objects = list(program.data_objects)
+        libc_imports = list(program.libc_imports)
+        compiled: list[CompiledFunction] = []
+
+        for spec in program.functions:
+            rng = drbg.fork(spec.name.encode())
+            slots = self._make_pointer_slots(
+                spec, address_taken, entry_symbol_of, rng
+            )
+            data_objects.extend(slots)
+            compiled.append(
+                self._compile_function(spec, [s.name for s in slots], rng)
+            )
+
+        if self.flags.stack_protector and STACK_CHK_FAIL not in libc_imports:
+            libc_imports.append(STACK_CHK_FAIL)
+
+        if table_entries:
+            if "abort" not in libc_imports:
+                libc_imports.append("abort")
+            compiled.append(
+                self._build_jump_table(address_taken, table_entries)
+            )
+
+        if program.entry not in {f.name for f in compiled}:
+            compiled.insert(0, self._build_start(program))
+
+        return CompiledProgram(
+            name=program.name,
+            flags=self.flags,
+            functions=compiled,
+            data_objects=data_objects,
+            libc_imports=libc_imports,
+            bss_size=program.bss_size,
+            entry=program.entry,
+        )
+
+    # ------------------------------------------------------------ pieces
+
+    def _make_pointer_slots(
+        self,
+        spec: FunctionSpec,
+        address_taken: list[str],
+        entry_symbol_of: dict[str, str],
+        rng: HmacDrbg,
+    ) -> list[DataObject]:
+        """One 8-byte .data slot per indirect call site."""
+        slots = []
+        for i in range(spec.indirect_calls):
+            if not address_taken:
+                raise ToolchainError(
+                    f"{spec.name} has indirect calls but no address-taken "
+                    "functions exist"
+                )
+            target_fn = rng.choice(address_taken)
+            target = entry_symbol_of.get(target_fn, target_fn)
+            slots.append(
+                DataObject(
+                    name=f"__fnptr_{spec.name}_{i}",
+                    size=8,
+                    pointers=[(0, target)],
+                )
+            )
+        return slots
+
+    def _compile_function(
+        self, spec: FunctionSpec, pointer_slots: list[str], rng: HmacDrbg
+    ) -> CompiledFunction:
+        asm = Assembler()
+        sp = self.flags.stack_protector
+        frame = 8 * (spec.frame_slots + 1)  # +1 keeps (%rsp) for the canary
+
+        # -- prologue ------------------------------------------------------
+        asm.push(RBP)
+        asm.mov_rr(RSP, RBP)
+        asm.alu_imm("sub", frame, RSP)
+        if sp:
+            asm.mov_load(Mem(seg="fs", disp=CANARY_FS_OFFSET), RAX)
+            asm.mov_store(RAX, Mem(base=RSP))
+
+        # -- body ------------------------------------------------------------
+        block_labels = [asm.label(f".{spec.name}.b{i}") for i in range(spec.n_blocks)]
+        lo, hi = spec.ops_per_block
+        call_sites = _distribute(spec.direct_calls, spec.n_blocks, rng)
+        icall_sites = _distribute(list(range(spec.indirect_calls)), spec.n_blocks, rng)
+
+        for block in range(spec.n_blocks):
+            asm.bind(block_labels[block])
+            for _ in range(rng.randint(lo, hi)):
+                self._emit_body_op(asm, rng, spec.frame_slots, sp, spec.store_bias)
+            for callee in call_sites.get(block, ()):
+                asm.call_symbol(callee)
+            for idx in icall_sites.get(block, ()):
+                self._emit_indirect_call(asm, pointer_slots[idx])
+            # Occasional forward conditional branch keeps the CFG realistic
+            # without ever creating unreachable blocks (fall-through covers
+            # every block).
+            if block + 2 < spec.n_blocks and rng.randint(0, 2) == 0:
+                target = rng.randint(block + 1, spec.n_blocks - 1)
+                asm.alu_imm("cmp", rng.randint(0, 255), RAX)
+                asm.jcc_label(rng.choice(("je", "jne", "jl", "jg")), block_labels[target])
+
+        # -- epilogue ----------------------------------------------------------
+        if sp:
+            fail = asm.label(f".{spec.name}.chk_fail")
+            asm.mov_load(Mem(seg="fs", disp=CANARY_FS_OFFSET), RAX)
+            asm.alu_load("cmp", Mem(base=RSP), RAX)
+            asm.jcc_label("jne", fail)
+            asm.alu_imm("add", frame, RSP)
+            asm.pop(RBP)
+            asm.ret()
+            asm.bind(fail)
+            asm.call_symbol(STACK_CHK_FAIL)
+            asm.ud2()  # __stack_chk_fail does not return
+        else:
+            asm.alu_imm("add", frame, RSP)
+            asm.pop(RBP)
+            asm.ret()
+
+        return CompiledFunction(
+            name=spec.name,
+            code=asm.finish(),
+            insn_count=asm.instruction_count,
+            fixups=list(asm.external_fixups),
+        )
+
+    def _emit_body_op(
+        self,
+        asm: Assembler,
+        rng: HmacDrbg,
+        frame_slots: int,
+        sp: bool,
+        store_bias: int = 0,
+    ) -> None:
+        # Slot 0 == (%rsp) holds the canary when stack protection is on;
+        # ordinary locals start one slot up (identical layout either way,
+        # so instrumented and plain builds differ only by the canary code).
+        first_slot = 1
+        kind = rng.randint(0, 6 + store_bias)
+        if kind > 6:
+            kind = 2  # extra weight lands on stack stores
+        reg = rng.choice(_SCRATCH)
+        other = rng.choice(_SCRATCH)
+        slot = Mem(base=RSP, disp=8 * rng.randint(first_slot, max(frame_slots, 1)))
+        if kind == 0:
+            asm.mov_imm(rng.randint(0, 1 << 16), reg)
+        elif kind == 1:
+            asm.alu_rr(rng.choice(("add", "sub", "xor", "and", "or")), other, reg)
+        elif kind == 2:
+            asm.mov_store(reg, slot)
+        elif kind == 3:
+            asm.mov_load(slot, reg)
+        elif kind == 4:
+            asm.alu_imm(rng.choice(("add", "sub", "cmp")), rng.randint(1, 1 << 12), reg)
+        elif kind == 5:
+            asm.imul_rr(other, reg)
+        else:
+            asm.shift_imm(rng.choice(("shl", "shr", "sar")), rng.randint(1, 31), reg)
+
+    def _emit_indirect_call(self, asm: Assembler, slot_symbol: str) -> None:
+        if self.flags.ifcc:
+            table_base = f"{JUMP_TABLE_PREFIX}0"
+            mask = self._table_bytes - 8
+            asm.mov_load_symbol(slot_symbol, RCX)
+            asm.lea_symbol(table_base, RAX)
+            asm.alu_rr("sub", RAX.as_bits(32), RCX.as_bits(32))
+            asm.alu_imm("and", mask, RCX)
+            asm.alu_rr("add", RAX, RCX)
+            asm.call_reg(RCX)
+        else:
+            asm.mov_load_symbol(slot_symbol, RCX)
+            asm.call_reg(RCX)
+
+    _table_bytes: int = 0  # set while compiling a program with IFCC
+
+    def _build_jump_table(
+        self, address_taken: list[str], table_entries: int
+    ) -> CompiledFunction:
+        """8-byte entries: ``jmpq <target>; nopl (%rax)``, bundle-aligned."""
+        asm = Assembler(bundle=False)  # entries are exactly 8 bytes; 32-byte
+        # bundles divide evenly so no entry can straddle a boundary.
+        symbols: list[tuple[str, int, int]] = []
+        for i in range(table_entries):
+            target = address_taken[i] if i < len(address_taken) else "abort"
+            symbols.append((f"{JUMP_TABLE_PREFIX}{i}", asm.offset, 8))
+            asm.jmp_symbol(target)
+            asm.nop(3)
+        return CompiledFunction(
+            # distinct from the entry-name prefix: policies and tests match
+            # entries by JUMP_TABLE_PREFIX and must not see the block symbol
+            name="__ifcc_jump_table_block",
+            code=asm.finish(),
+            insn_count=asm.instruction_count,
+            fixups=list(asm.external_fixups),
+            extra_symbols=symbols,
+        )
+
+    def _build_start(self, program: ProgramSpec) -> CompiledFunction:
+        """Synthesise ``_start``: align the stack, call main, return."""
+        if not any(f.name == "main" for f in program.functions):
+            raise ToolchainError(
+                f"{program.name}: no entry {program.entry!r} and no main() "
+                "to synthesise one from"
+            )
+        asm = Assembler()
+        asm.alu_imm("sub", 8, RSP)
+        asm.call_symbol("main")
+        asm.alu_imm("add", 8, RSP)
+        asm.ret()
+        return CompiledFunction(
+            name=program.entry,
+            code=asm.finish(),
+            insn_count=asm.instruction_count,
+            fixups=list(asm.external_fixups),
+        )
+
+    # `compile` wires _table_bytes before functions are compiled ------------
+
+    def compile_with_stats(self, program: ProgramSpec) -> CompiledProgram:
+        return self.compile(program)
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p *= 2
+    return p
+
+
+def _distribute(items: list, n_blocks: int, rng: HmacDrbg) -> dict[int, list]:
+    """Assign each item to a block (deterministically random)."""
+    placed: dict[int, list] = {}
+    for item in items:
+        block = rng.randint(0, n_blocks - 1)
+        placed.setdefault(block, []).append(item)
+    return placed

@@ -1,0 +1,110 @@
+"""Program-level intermediate representation for the mini compiler.
+
+A *program spec* describes the shape of a client application: its
+functions (control-flow shape, stack usage, call structure), the libc
+functions it imports, and its data objects.  The workload generator
+(:mod:`repro.toolchain.workloads`) produces specs whose compiled size
+matches the paper's benchmarks; examples and tests can also write small
+specs by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FunctionSpec", "DataObject", "ProgramSpec"]
+
+
+@dataclass
+class FunctionSpec:
+    """Shape of one client function.
+
+    The compiler turns this into real x86-64: a frame-setup prologue,
+    *n_blocks* basic blocks of arithmetic/memory ops (sizes drawn from
+    *ops_per_block* via the program's DRBG), direct calls and indirect
+    calls placed at deterministic points, and an epilogue.
+    """
+
+    name: str
+    n_blocks: int = 3
+    ops_per_block: tuple[int, int] = (5, 15)
+    frame_slots: int = 4
+    #: callee names — other client functions or libc imports
+    direct_calls: list[str] = field(default_factory=list)
+    #: number of indirect call sites (through data-resident fn pointers)
+    indirect_calls: int = 0
+    #: eligible as an indirect-call target (gets a jump-table entry
+    #: under IFCC, and a pointer slot in .data)
+    address_taken: bool = False
+    #: extra weight on stack-store ops in the generated body (bzip2-style
+    #: array-heavy code); 0 = the default op mix
+    store_bias: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_blocks < 1:
+            raise ValueError(f"{self.name}: need at least one block")
+        lo, hi = self.ops_per_block
+        if lo < 1 or hi < lo:
+            raise ValueError(f"{self.name}: bad ops_per_block {self.ops_per_block}")
+        if self.frame_slots < 1:
+            raise ValueError(f"{self.name}: need at least one frame slot")
+
+
+@dataclass
+class DataObject:
+    """An initialised .data object.
+
+    *pointers* lists (offset, target_symbol) pairs: 8-byte slots holding
+    the address of a text symbol.  They become ``R_X86_64_RELATIVE``
+    relocations — the thing the in-enclave loader has to patch.
+    """
+
+    name: str
+    size: int
+    init: bytes = b""
+    pointers: list[tuple[int, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.init) > self.size:
+            raise ValueError(f"{self.name}: init larger than object")
+        for off, sym in self.pointers:
+            if off % 8 or off + 8 > self.size:
+                raise ValueError(f"{self.name}: bad pointer slot {off} -> {sym}")
+
+
+@dataclass
+class ProgramSpec:
+    """A whole client program."""
+
+    name: str
+    functions: list[FunctionSpec]
+    libc_imports: list[str] = field(default_factory=list)
+    data_objects: list[DataObject] = field(default_factory=list)
+    bss_size: int = 64
+    entry: str = "_start"
+    #: seed for deterministic body generation
+    seed: bytes = b""
+
+    def function(self, name: str) -> FunctionSpec:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise KeyError(f"no function {name!r} in program {self.name}")
+
+    def validate(self) -> None:
+        names = [f.name for f in self.functions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"{self.name}: duplicate function names")
+        known = set(names) | set(self.libc_imports)
+        for f in self.functions:
+            for callee in f.direct_calls:
+                if callee not in known:
+                    raise ValueError(
+                        f"{self.name}: {f.name} calls unknown symbol {callee!r}"
+                    )
+        if any(f.indirect_calls for f in self.functions) and not any(
+            f.address_taken for f in self.functions
+        ):
+            raise ValueError(
+                f"{self.name}: indirect calls but no address-taken functions"
+            )

@@ -1,0 +1,301 @@
+"""Synthetic musl-libc.
+
+The paper's library-linking policy verifies that executables are linked
+against musl-libc v1.0.5 by comparing SHA-256 hashes of every called libc
+function against a golden database.  Real musl cannot be compiled here, so
+this module generates a deterministic stand-in:
+
+* function *names* are real musl exports (so workload specs read naturally),
+* bodies are deterministic x86-64 generated from an HMAC-DRBG seeded by
+  ``(version, name)`` — change the version string and every body (hence
+  every hash) changes, exactly like a real version bump,
+* every function is a **self-contained padded unit**: no calls into other
+  libc functions, and its bytes are padded to a 32-byte (NaCl bundle)
+  boundary.  This is the property that makes per-function hashing sound
+  under link-time garbage collection: whichever subset of functions a
+  binary links, each retained function's bytes — from its symbol to the
+  next symbol — are identical to the golden build's.
+
+Static linking includes only the functions a program imports
+(:meth:`LibcBuild.closure`), which is how a small benchmark like 429.mcf
+ends up at ~13k instructions total while Nginx carries a large libc
+footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto import HmacDrbg, sha256_fast
+from ..x86 import Assembler, Mem
+from ..x86.encoder import Enc
+from ..x86.registers import R8, R9, RAX, RBP, RCX, RDI, RDX, RSI, RSP, Reg
+
+__all__ = ["MUSL_FUNCTIONS", "LibcFunction", "LibcBuild", "build_libc", "MUSL_VERSION"]
+
+MUSL_VERSION = "1.0.5"
+
+# Real musl exports, grouped by subsystem.  The group determines the
+# synthetic body's size class.
+_STRING = [
+    "memcpy", "memmove", "memset", "memcmp", "memchr", "memrchr",
+    "strlen", "strnlen", "strcpy", "strncpy", "strcat", "strncat",
+    "strcmp", "strncmp", "strchr", "strrchr", "strstr", "strtok",
+    "strspn", "strcspn", "strpbrk", "strdup", "strndup", "strerror",
+    "strcasecmp", "strncasecmp", "stpcpy", "stpncpy", "strlcpy", "strlcat",
+]
+_CTYPE = [
+    "isalpha", "isdigit", "isalnum", "isspace", "isupper", "islower",
+    "isprint", "ispunct", "isxdigit", "iscntrl", "tolower", "toupper",
+]
+_STDLIB = [
+    "atoi", "atol", "atoll", "strtol", "strtoul", "strtoll", "strtoull",
+    "strtod", "strtof", "abs", "labs", "llabs", "div", "ldiv",
+    "qsort", "bsearch", "rand", "srand", "rand_r", "abort", "exit",
+    "atexit", "getenv", "setenv", "unsetenv", "mkstemp", "realpath",
+]
+_MALLOC = [
+    "malloc", "free", "calloc", "realloc", "posix_memalign",
+    "aligned_alloc", "malloc_usable_size",
+]
+_STDIO = [
+    "printf", "fprintf", "sprintf", "snprintf", "vprintf", "vfprintf",
+    "vsprintf", "vsnprintf", "puts", "fputs", "fputc", "putchar",
+    "scanf", "fscanf", "sscanf", "vsscanf", "getchar", "fgetc", "fgets",
+    "ungetc", "fopen", "fclose", "fflush", "fread", "fwrite", "fseek",
+    "ftell", "rewind", "feof", "ferror", "clearerr", "setvbuf", "setbuf",
+    "perror", "remove", "rename", "tmpfile", "fileno", "fdopen", "freopen",
+]
+_UNISTD = [
+    "read", "write", "open", "close", "lseek", "access", "unlink",
+    "getpid", "getppid", "getuid", "geteuid", "getgid", "fork", "execve",
+    "pipe", "dup", "dup2", "sleep", "usleep", "isatty", "getcwd", "chdir",
+    "rmdir", "mkdir", "stat", "fstat", "lstat", "chmod", "chown",
+]
+_SOCKET = [
+    "socket", "bind", "listen", "accept", "connect", "send", "recv",
+    "sendto", "recvfrom", "shutdown", "setsockopt", "getsockopt",
+    "getsockname", "getpeername", "inet_addr", "inet_ntoa", "inet_pton",
+    "inet_ntop", "htons", "htonl", "ntohs", "ntohl", "getaddrinfo",
+    "freeaddrinfo", "gai_strerror", "gethostbyname",
+]
+_TIME = [
+    "time", "clock", "gettimeofday", "clock_gettime", "nanosleep",
+    "localtime", "gmtime", "mktime", "strftime", "asctime", "ctime",
+    "difftime", "clock_getres",
+]
+_MATH = [
+    "sqrt", "pow", "exp", "log", "log2", "log10", "sin", "cos", "tan",
+    "floor", "ceil", "round", "fabs", "fmod", "frexp", "ldexp", "modf",
+]
+_PTHREAD = [
+    "pthread_create", "pthread_join", "pthread_detach", "pthread_self",
+    "pthread_mutex_init", "pthread_mutex_lock", "pthread_mutex_unlock",
+    "pthread_mutex_destroy", "pthread_cond_init", "pthread_cond_wait",
+    "pthread_cond_signal", "pthread_cond_broadcast", "pthread_cond_destroy",
+    "pthread_key_create", "pthread_getspecific", "pthread_setspecific",
+    "pthread_once", "pthread_attr_init", "pthread_attr_destroy",
+]
+_SIGNAL = [
+    "signal", "sigaction", "sigemptyset", "sigfillset", "sigaddset",
+    "sigdelset", "sigprocmask", "raise", "kill",
+]
+_INTERNAL = [
+    "__stack_chk_fail", "__errno_location", "__libc_start_main",
+    "__assert_fail", "__fwritex", "__towrite", "__toread", "__uflow",
+    "__overflow", "__stdio_write", "__stdio_read", "__stdio_seek",
+    "__stdio_close", "__lockfile", "__unlockfile", "__syscall_ret",
+    "__memcpy_fwd", "__expand_heap", "__bin_chunk", "__malloc0",
+    "__simple_malloc", "__lctrans", "__lctrans_cur", "__intscan",
+    "__floatscan", "__shlim", "__shgetc", "__procfdname", "__randname",
+]
+
+#: subsystem -> (members, (min_blocks, max_blocks), (min_ops, max_ops))
+#: Size classes approximate real musl: string/ctype primitives are tight
+#: loops; stdio formatting and stdlib conversions are hundreds of
+#: instructions (vfprintf in real musl is >2k).
+_GROUPS: dict[str, tuple[list[str], tuple[int, int], tuple[int, int]]] = {
+    "internal": (_INTERNAL, (1, 2), (5, 14)),
+    "string": (_STRING, (2, 4), (6, 16)),
+    "ctype": (_CTYPE, (1, 1), (4, 8)),
+    "math": (_MATH, (2, 5), (8, 20)),
+    "malloc": (_MALLOC, (4, 8), (12, 26)),
+    "stdlib": (_STDLIB, (3, 8), (10, 24)),
+    "stdio": (_STDIO, (6, 14), (14, 30)),
+    "unistd": (_UNISTD, (1, 3), (5, 12)),
+    "socket": (_SOCKET, (2, 5), (8, 18)),
+    "time": (_TIME, (2, 5), (8, 18)),
+    "pthread": (_PTHREAD, (2, 5), (8, 18)),
+    "signal": (_SIGNAL, (1, 3), (5, 12)),
+}
+
+#: the heavyweights — these get an extra size multiplier, mirroring the
+#: real functions' bulk (and making per-call-site hashing expensive, as
+#: the paper's Figure 3 policy column reflects)
+_BIG = {
+    "printf", "fprintf", "snprintf", "vfprintf", "vsnprintf", "sprintf",
+    "vsprintf", "scanf", "fscanf", "sscanf", "vsscanf",
+    "qsort", "strtod", "strtof", "getaddrinfo", "malloc", "realloc",
+    "strftime", "__floatscan", "__intscan", "fread", "fwrite", "fgets",
+}
+
+#: canonical link order: every musl function, in deterministic order
+MUSL_FUNCTIONS: tuple[str, ...] = tuple(
+    name
+    for group, (members, _b, _o) in _GROUPS.items()
+    for name in members
+)
+
+_SCRATCH: tuple[Reg, ...] = (RAX, RCX, RDX, RSI, RDI, R8, R9)
+
+
+@dataclass(frozen=True)
+class LibcFunction:
+    """One compiled libc function as a self-contained padded unit.
+
+    ``code`` always ends on a 32-byte boundary; ``insn_count`` includes
+    the trailing alignment NOPs.
+    """
+
+    name: str
+    code: bytes
+    insn_count: int
+
+
+@dataclass
+class LibcBuild:
+    """The full libc in canonical order, plus per-function units."""
+
+    version: str
+    functions: list[LibcFunction]
+    offsets: dict[str, int]  # within the full canonical blob
+    blob: bytes
+    insn_count: int
+
+    def closure(self, roots: list[str]) -> list[str]:
+        """Link-time GC: the functions a binary linking *roots* retains.
+
+        Functions are leaves (no intra-libc calls), so the closure is the
+        root set itself, in canonical link order.
+        """
+        available = set(self.offsets)
+        missing = [r for r in roots if r not in available]
+        if missing:
+            raise KeyError(f"not libc functions: {missing}")
+        wanted = set(roots)
+        return [f.name for f in self.functions if f.name in wanted]
+
+    def function(self, name: str) -> LibcFunction:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+    def reference_hashes(self) -> dict[str, bytes]:
+        """The golden per-function hash database for the linking policy.
+
+        Because every function is a padded, call-free unit, its in-binary
+        bytes (symbol to next symbol) equal its unit bytes regardless of
+        which other functions the binary retained.
+        """
+        return {f.name: sha256_fast(f.code) for f in self.functions}
+
+
+def _compile_leaf(
+    name: str, blocks: int, ops: tuple[int, int], rng: HmacDrbg
+) -> Assembler:
+    """A deterministic call-free function body."""
+    asm = Assembler()
+    frame_slots = rng.randint(2, 8)
+    frame = 8 * frame_slots
+
+    asm.push(RBP)
+    asm.mov_rr(RSP, RBP)
+    asm.alu_imm("sub", frame, RSP)
+
+    exit_label = asm.label(f".{name}.exit")
+    for block in range(blocks):
+        for _ in range(rng.randint(*ops)):
+            _emit_random_op(asm, rng, frame_slots)
+        if block < blocks - 1 and rng.randint(0, 3) == 0:
+            asm.test_rr(RAX, RAX)
+            asm.jcc_label("je", exit_label)
+    asm.bind(exit_label)
+    asm.alu_imm("add", frame, RSP)
+    asm.pop(RBP)
+    asm.ret()
+    return asm
+
+
+def _emit_random_op(asm: Assembler, rng: HmacDrbg, frame_slots: int) -> None:
+    kind = rng.randint(0, 5)
+    reg = rng.choice(_SCRATCH)
+    other = rng.choice(_SCRATCH)
+    if kind == 0:
+        asm.mov_imm(rng.randint(0, 1 << 20), reg)
+    elif kind == 1:
+        asm.alu_rr(rng.choice(("add", "sub", "xor", "and", "or")), other, reg)
+    elif kind == 2:
+        slot = Mem(base=RBP, disp=-8 * rng.randint(1, frame_slots))
+        asm.mov_store(reg, slot)
+    elif kind == 3:
+        slot = Mem(base=RBP, disp=-8 * rng.randint(1, frame_slots))
+        asm.mov_load(slot, reg)
+    elif kind == 4:
+        asm.alu_imm(rng.choice(("add", "sub", "and")), rng.randint(1, 4095), reg)
+    else:
+        asm.shift_imm(rng.choice(("shl", "shr", "sar")), rng.randint(1, 31), reg)
+
+
+_CACHE: dict[str, LibcBuild] = {}
+
+
+def build_libc(version: str = MUSL_VERSION) -> LibcBuild:
+    """Generate the canonical libc build for *version* (deterministic,
+    process-cached)."""
+    cached = _CACHE.get(version)
+    if cached is not None:
+        return cached
+
+    drbg = HmacDrbg(f"musl-libc-{version}".encode())
+    functions: list[LibcFunction] = []
+    offsets: dict[str, int] = {}
+    chunks: list[bytes] = []
+    pos = 0
+    insn_total = 0
+
+    for group, (members, blocks_range, ops_range) in _GROUPS.items():
+        for name in members:
+            rng = drbg.fork(name.encode())
+            blocks = rng.randint(*blocks_range)
+            if name in _BIG:
+                # real musl's formatted-I/O and allocator cores run to
+                # thousands of instructions (vfprintf alone is >2k)
+                blocks *= rng.randint(5, 8)
+            asm = _compile_leaf(name, blocks, ops_range, rng)
+            code = asm.finish()
+            count = asm.instruction_count
+            pad = (-len(code)) % 32
+            if pad:
+                code += Enc.nop_pad(pad)
+                count += _nop_count(pad)
+            functions.append(LibcFunction(name=name, code=code, insn_count=count))
+            offsets[name] = pos
+            chunks.append(code)
+            pos += len(code)
+            insn_total += count
+
+    build = LibcBuild(
+        version=version,
+        functions=functions,
+        offsets=offsets,
+        blob=b"".join(chunks),
+        insn_count=insn_total,
+    )
+    _CACHE[version] = build
+    return build
+
+
+def _nop_count(pad: int) -> int:
+    full, rem = divmod(pad, 9)
+    return full + (1 if rem else 0)

@@ -1,0 +1,180 @@
+"""Static PIE linker.
+
+Lays out the client's compiled functions followed by the *entire* libc
+block (in its canonical order — this is what keeps intra-libc ``rel32``
+offsets, and therefore per-function hashes, identical across binaries),
+resolves symbolic fixups, materialises function-pointer slots as
+``R_X86_64_RELATIVE`` relocations, and emits the ELF64 image via
+:mod:`repro.elf.writer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..elf import ElfSymbol, Layout, write_elf
+from ..errors import LinkError
+from ..x86.encoder import Enc
+from .codegen import CompiledProgram
+from .libc import LibcBuild
+
+__all__ = ["LinkedBinary", "link"]
+
+_ALIGN = 32  # NaCl bundle size; every function starts on a fresh bundle
+
+
+@dataclass
+class LinkedBinary:
+    """The linker's output plus the metadata tests and benches consume."""
+
+    name: str
+    elf: bytes
+    insn_count: int
+    text_size: int
+    data_size: int
+    bss_size: int
+    entry_vaddr: int
+    #: symbol name -> vaddr (functions, table entries, data objects)
+    symbols: dict[str, int] = field(default_factory=dict)
+    relocation_count: int = 0
+
+
+def link(program: CompiledProgram, libc: LibcBuild) -> LinkedBinary:
+    """Produce a statically-linked PIE from *program* and *libc*."""
+
+    # ---- text layout -------------------------------------------------------
+    text = bytearray()
+    insn_count = 0
+    func_symbols: list[tuple[str, int, int]] = []  # (name, offset, size)
+    fixups: list[tuple[int, int, str, int]] = []   # (patch, next, symbol, addend)
+
+    libc_names = set(libc.offsets)
+    for fn in program.functions:
+        if fn.name in libc_names:
+            raise LinkError(f"client symbol {fn.name!r} collides with libc")
+
+    for fn in program.functions:
+        pad = (-len(text)) % _ALIGN
+        if pad:
+            text += Enc.nop_pad(pad)
+            insn_count += _nop_count(pad)
+        base = len(text)
+        func_symbols.append((fn.name, base, len(fn.code)))
+        for name, off, size in fn.extra_symbols:
+            func_symbols.append((name, base + off, size))
+        for fx in fn.fixups:
+            fixups.append((base + fx.patch_offset, base + fx.next_offset,
+                           fx.symbol, fx.addend))
+        text += fn.code
+        insn_count += fn.insn_count
+
+    pad = (-len(text)) % _ALIGN
+    if pad:
+        text += Enc.nop_pad(pad)
+        insn_count += _nop_count(pad)
+
+    # Link-time GC: retain only the libc functions the program imports.
+    # Each retained function is a self-contained 32-byte-aligned unit, so
+    # its bytes (and hence its policy hash) are identical to the golden
+    # build's no matter which subset is retained.
+    retained = libc.closure(program.libc_imports)
+    libc_units = {f.name: f for f in libc.functions}
+    libc_offsets: dict[str, int] = {}
+    libc_sizes: dict[str, int] = {}
+    for name in retained:
+        unit = libc_units[name]
+        libc_offsets[name] = len(text)
+        libc_sizes[name] = len(unit.code)
+        text += unit.code
+        insn_count += unit.insn_count
+
+    text_offsets: dict[str, int] = {}
+    for name, off, _size in func_symbols:
+        if name in text_offsets:
+            raise LinkError(f"duplicate text symbol {name!r}")
+        text_offsets[name] = off
+    text_offsets.update(libc_offsets)
+
+    # ---- data layout -------------------------------------------------------
+    data = bytearray()
+    data_symbols: list[tuple[str, int, int]] = []
+    pointer_slots: list[tuple[int, str]] = []  # (offset in .data, target symbol)
+    seen_objects: set[str] = set()
+    for obj in program.data_objects:
+        if obj.name in seen_objects or obj.name in text_offsets:
+            raise LinkError(f"duplicate symbol {obj.name!r}")
+        seen_objects.add(obj.name)
+        pad = (-len(data)) % 8
+        data += b"\x00" * pad
+        base = len(data)
+        data_symbols.append((obj.name, base, obj.size))
+        data += obj.init.ljust(obj.size, b"\x00")
+        for off, target in obj.pointers:
+            pointer_slots.append((base + off, target))
+
+    # ---- final addresses ----------------------------------------------------
+    layout = Layout.compute(len(text), len(pointer_slots), len(data), program.bss_size)
+    symbols: dict[str, int] = {}
+    for name, off in text_offsets.items():
+        symbols[name] = layout.text_vaddr + off
+    for name, off, _size in data_symbols:
+        symbols[name] = layout.data_vaddr + off
+
+    def resolve(name: str) -> int:
+        try:
+            return symbols[name]
+        except KeyError:
+            raise LinkError(f"undefined symbol {name!r}") from None
+
+    for patch, next_off, symbol, addend in fixups:
+        target = resolve(symbol) + addend
+        rel = target - (layout.text_vaddr + next_off)
+        text[patch:patch + 4] = rel.to_bytes(4, "little", signed=True)
+
+    relocations = []
+    for slot_off, target in pointer_slots:
+        target_vaddr = resolve(target)
+        slot_vaddr = layout.data_vaddr + slot_off
+        data[slot_off:slot_off + 8] = target_vaddr.to_bytes(8, "little")
+        relocations.append((slot_vaddr, target_vaddr))
+
+    # ---- symbol table & image -----------------------------------------------
+    elf_symbols = [
+        ElfSymbol(name, layout.text_vaddr + off, size, "func", "text")
+        for name, off, size in func_symbols
+    ]
+    elf_symbols += [
+        ElfSymbol(name, layout.text_vaddr + off, libc_sizes[name], "func", "text")
+        for name, off in libc_offsets.items()
+    ]
+    elf_symbols += [
+        ElfSymbol(name, layout.data_vaddr + off, size, "object", "data")
+        for name, off, size in data_symbols
+    ]
+
+    entry_vaddr = resolve(program.entry)
+    elf = write_elf(
+        text=bytes(text),
+        data=bytes(data),
+        bss_size=program.bss_size,
+        symbols=elf_symbols,
+        relocations=relocations,
+        entry_vaddr=entry_vaddr,
+        layout=layout,
+    )
+    return LinkedBinary(
+        name=program.name,
+        elf=elf,
+        insn_count=insn_count,
+        text_size=len(text),
+        data_size=len(data),
+        bss_size=program.bss_size,
+        entry_vaddr=entry_vaddr,
+        symbols=symbols,
+        relocation_count=len(relocations),
+    )
+
+
+def _nop_count(pad: int) -> int:
+    full, rem = divmod(pad, 9)
+    return full + (1 if rem else 0)

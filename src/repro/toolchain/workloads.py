@@ -1,0 +1,421 @@
+"""The seven paper benchmarks as synthetic workloads (paper section 5).
+
+Each profile captures the *code shape* of its benchmark — function count
+and size distribution, libc usage, indirect-call density, relocation
+(function-pointer table) count — tuned so the plain build's instruction
+count matches the ``#Inst`` column of Figure 3:
+
+===========  ========  ==========================================
+benchmark    #Inst     shape notes
+===========  ========  ==========================================
+nginx         262,228  many medium functions, heavy libc + module
+                       tables (hence the large relocation count and
+                       Figure 3's outsized loading cost), hundreds of
+                       indirect calls through handler pointers
+401.bzip2      24,112  a handful of **huge** compression kernels with
+                       dense stack traffic — the reason its Figure 4
+                       policy-check cost exceeds Nginx's
+graph-500     100,411  medium kernels, light libc
+429.mcf        12,903  tiny simplex kernels but call-heavy relative to
+                       size — the highest per-instruction cost in
+                       Figure 3
+memcached      71,437  event-driven: many callbacks (address-taken) and
+                       socket/pthread libc
+netperf        51,403  socket benchmark loops
+otp-gen        28,125  password generator: unrolled crypto-ish rounds
+===========  ========  ==========================================
+
+Generation is deterministic (HMAC-DRBG per profile) and self-calibrating:
+filler kernels are resized until the plain build lands within 0.1% of the
+target, then the requested instrumentation (stack protector / IFCC) is
+applied — so instrumented instruction counts *grow* relative to Figure 3
+exactly as the paper's Figures 4-5 show.
+
+Set ``REPRO_WORKLOAD_SCALE=0.1`` (or pass ``scale=``) to shrink every
+workload for quick runs; shapes are preserved.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..crypto import HmacDrbg
+from ..errors import ToolchainError
+from .codegen import Compiler, CompilerFlags
+from .ir import DataObject, FunctionSpec, ProgramSpec
+from .libc import LibcBuild, build_libc
+from .linker import LinkedBinary, link
+
+__all__ = ["WorkloadProfile", "PROFILES", "PAPER_BENCHMARKS", "build_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Shape parameters for one benchmark."""
+
+    name: str
+    paper_name: str
+    target_insns: int            # Figure 3 "#Inst" (plain build)
+    n_blocks: tuple[int, int]
+    ops_per_block: tuple[int, int]
+    frame_slots: tuple[int, int]
+    calls_per_func: tuple[int, int]
+    libc_pool: tuple[str, ...]
+    store_bias: int = 0
+    address_taken: int = 0
+    icall_sites: int = 0
+    pointer_table_entries: int = 0
+    data_bytes: int = 512
+    bss_bytes: int = 4096
+    #: huge-kernel overrides: (count, blocks, ops) triples generated first
+    giant_functions: tuple[tuple[int, tuple[int, int], tuple[int, int]], ...] = ()
+
+
+_STRING_POOL = (
+    "memcpy", "memset", "memcmp", "memmove", "strlen", "strcmp", "strncmp",
+    "strcpy", "strchr", "strstr",
+)
+_STDIO_POOL = (
+    "printf", "fprintf", "snprintf", "fopen", "fclose", "fread", "fwrite",
+    "fflush", "fgets", "fputs", "fseek", "puts",
+)
+_MALLOC_POOL = ("malloc", "free", "calloc", "realloc")
+_SOCKET_POOL = (
+    "socket", "bind", "listen", "accept", "connect", "send", "recv",
+    "setsockopt", "htons", "ntohs", "inet_ntop", "getaddrinfo",
+)
+_TIME_POOL = ("time", "gettimeofday", "clock_gettime", "strftime", "localtime")
+_PTHREAD_POOL = (
+    "pthread_mutex_lock", "pthread_mutex_unlock", "pthread_create",
+    "pthread_cond_wait", "pthread_cond_signal",
+)
+_MATH_POOL = ("sqrt", "pow", "log", "exp", "floor", "fabs")
+_STDLIB_POOL = ("atoi", "strtol", "qsort", "rand", "abs", "getenv", "exit")
+
+
+PROFILES: dict[str, WorkloadProfile] = {
+    "nginx": WorkloadProfile(
+        name="nginx",
+        paper_name="Nginx",
+        target_insns=262_228,
+        n_blocks=(6, 14),
+        ops_per_block=(22, 42),
+        frame_slots=(6, 14),
+        calls_per_func=(4, 9),
+        libc_pool=_SOCKET_POOL + _STDIO_POOL + _STRING_POOL + _MALLOC_POOL
+        + _TIME_POOL + _PTHREAD_POOL + _STDLIB_POOL,
+        address_taken=300,
+        icall_sites=850,
+        pointer_table_entries=2200,
+        data_bytes=8192,
+        bss_bytes=65536,
+    ),
+    "bzip2": WorkloadProfile(
+        name="bzip2",
+        paper_name="401.bzip2",
+        target_insns=24_112,
+        n_blocks=(2, 4),
+        ops_per_block=(6, 14),
+        frame_slots=(6, 16),
+        calls_per_func=(35, 55),
+        libc_pool=("printf", "fread", "fwrite", "malloc", "free", "memcpy",
+                   "exit"),
+        store_bias=2,
+        address_taken=4,
+        icall_sites=6,
+        pointer_table_entries=12,
+        giant_functions=(
+            (4, (45, 60), (70, 95)),   # the BZ2_compress/decompress kernels
+        ),
+        data_bytes=2048,
+        bss_bytes=262144,
+    ),
+    "graph500": WorkloadProfile(
+        name="graph500",
+        paper_name="Graph-500",
+        target_insns=100_411,
+        n_blocks=(4, 10),
+        ops_per_block=(12, 26),
+        frame_slots=(4, 10),
+        calls_per_func=(1, 4),
+        libc_pool=_MALLOC_POOL + _MATH_POOL + ("printf", "rand", "qsort",
+                                               "memcpy", "memset", "exit"),
+        pointer_table_entries=6,
+        data_bytes=1024,
+        bss_bytes=1 << 20,
+    ),
+    "mcf": WorkloadProfile(
+        name="mcf",
+        paper_name="429.mcf",
+        target_insns=12_903,
+        n_blocks=(5, 10),
+        ops_per_block=(45, 75),
+        frame_slots=(4, 10),
+        calls_per_func=(16, 26),    # call-heavy relative to its size
+        libc_pool=("printf", "fprintf", "fopen", "fclose", "fgets",
+                   "malloc", "free", "memcpy", "strtol", "exit"),
+        pointer_table_entries=15,
+        data_bytes=512,
+        bss_bytes=131072,
+    ),
+    "memcached": WorkloadProfile(
+        name="memcached",
+        paper_name="Memcached",
+        target_insns=71_437,
+        n_blocks=(6, 13),
+        ops_per_block=(22, 40),
+        frame_slots=(4, 10),
+        calls_per_func=(6, 12),
+        libc_pool=_SOCKET_POOL + _MALLOC_POOL + _PTHREAD_POOL + _STRING_POOL
+        + _TIME_POOL,
+        address_taken=48,
+        icall_sites=60,
+        pointer_table_entries=20,
+        data_bytes=4096,
+        bss_bytes=262144,
+    ),
+    "netperf": WorkloadProfile(
+        name="netperf",
+        paper_name="Netperf",
+        target_insns=51_403,
+        n_blocks=(5, 12),
+        ops_per_block=(18, 34),
+        frame_slots=(4, 10),
+        calls_per_func=(6, 12),
+        libc_pool=_SOCKET_POOL + _STDIO_POOL + _TIME_POOL + ("memcpy",
+                                                             "memset", "strlen"),
+        address_taken=12,
+        icall_sites=30,
+        pointer_table_entries=250,
+        data_bytes=2048,
+        bss_bytes=65536,
+    ),
+    "otp-gen": WorkloadProfile(
+        name="otp-gen",
+        paper_name="Otp-gen",
+        target_insns=28_125,
+        n_blocks=(6, 14),
+        ops_per_block=(20, 38),
+        frame_slots=(6, 14),
+        calls_per_func=(3, 7),
+        libc_pool=("memcpy", "memset", "strlen", "printf", "snprintf",
+                   "sscanf", "read", "write", "time", "rand", "exit"),
+        store_bias=1,
+        pointer_table_entries=30,
+        data_bytes=1024,
+        bss_bytes=16384,
+    ),
+}
+
+#: benchmark order as it appears in the paper's tables
+PAPER_BENCHMARKS = ("nginx", "bzip2", "graph500", "mcf", "memcached", "netperf", "otp-gen")
+
+_PLAIN = CompilerFlags()
+_TOLERANCE_DIVISOR = 1000  # converge to within 0.1% of the target
+_MAX_CALIBRATION_ROUNDS = 10
+
+
+def _generate_base(
+    profile: WorkloadProfile, target: int, libc: LibcBuild, rng: HmacDrbg
+) -> ProgramSpec:
+    """Draw function specs until the estimated size nears the target."""
+    imports = sorted(set(profile.libc_pool))
+    libc_insns = sum(libc.function(n).insn_count for n in libc.closure(imports))
+    budget = target - libc_insns - 16  # 16 ~ the _start stub + padding
+    if budget < 200:
+        raise ToolchainError(
+            f"{profile.name}: target {target} leaves no room for client code"
+        )
+
+    functions: list[FunctionSpec] = []
+    estimated = 0
+
+    def est(spec: FunctionSpec) -> int:
+        ops = sum(spec.ops_per_block) / 2
+        calls = len(spec.direct_calls) + spec.indirect_calls * 2
+        return int((spec.n_blocks * ops + calls + 10) * 1.06)
+
+    # Giant kernels first (bzip2-style).  They scale with the *client*
+    # budget so REPRO_WORKLOAD_SCALE keeps the shape, just smaller.
+    full_client = max(profile.target_insns - libc_insns, 1)
+    ratio = budget / full_client
+    for count, blocks, ops in profile.giant_functions:
+        scaled = (max(int(blocks[0] * ratio), 2), max(int(blocks[1] * ratio), 3))
+        for i in range(count):
+            if estimated > budget * 0.8:
+                break
+            spec = FunctionSpec(
+                name=f"{profile.name}_kernel{i}",
+                n_blocks=rng.randint(*scaled),
+                ops_per_block=ops,
+                frame_slots=rng.randint(*profile.frame_slots),
+                direct_calls=[rng.choice(imports)
+                              for _ in range(rng.randint(*profile.calls_per_func))],
+                store_bias=profile.store_bias,
+            )
+            functions.append(spec)
+            estimated += est(spec)
+
+    # Density knobs scale with the target so small-scale builds keep the
+    # benchmark's shape rather than its absolute counts.
+    remaining_at = max(int(profile.address_taken * ratio), min(profile.address_taken, 2))
+    remaining_icalls = max(int(profile.icall_sites * ratio), min(profile.icall_sites, 2))
+    i = 0
+    # Leave ~7% headroom for the calibration fillers.
+    while estimated < budget * 0.93:
+        n_calls = rng.randint(*profile.calls_per_func)
+        callees = [rng.choice(imports) for _ in range(n_calls)]
+        # some calls target earlier client functions, like real call graphs
+        if functions and rng.randint(0, 2) == 0:
+            callees[0] = rng.choice(functions).name
+        icalls = 0
+        if remaining_icalls > 0 and rng.randint(0, 3) == 0:
+            icalls = min(rng.randint(1, 3), remaining_icalls)
+            remaining_icalls -= icalls
+        spec = FunctionSpec(
+            name=f"{profile.name}_fn{i}",
+            n_blocks=rng.randint(*profile.n_blocks),
+            ops_per_block=profile.ops_per_block,
+            frame_slots=rng.randint(*profile.frame_slots),
+            direct_calls=callees,
+            indirect_calls=icalls,
+            address_taken=remaining_at > 0,
+            store_bias=profile.store_bias,
+        )
+        if spec.address_taken:
+            remaining_at -= 1
+        functions.append(spec)
+        estimated += est(spec)
+        i += 1
+
+    # main() ties a few roots together.
+    roots = [f.name for f in functions[:4]]
+    functions.insert(0, FunctionSpec(
+        name="main",
+        n_blocks=2,
+        ops_per_block=(4, 8),
+        frame_slots=4,
+        direct_calls=roots,
+        store_bias=profile.store_bias,
+    ))
+
+    data_objects = [
+        DataObject(
+            name=f"{profile.name}_data",
+            size=max(profile.data_bytes, 8),
+            init=rng.generate(min(profile.data_bytes, 256)),
+        )
+    ]
+    if profile.pointer_table_entries:
+        entries = max(int(profile.pointer_table_entries * ratio), 4)
+        targets = [f.name for f in functions if f.address_taken] or roots
+        data_objects.append(
+            DataObject(
+                name=f"{profile.name}_module_table",
+                size=entries * 8,
+                pointers=[
+                    (8 * k, targets[k % len(targets)])
+                    for k in range(entries)
+                ],
+            )
+        )
+
+    return ProgramSpec(
+        name=profile.name,
+        functions=functions,
+        libc_imports=imports,
+        data_objects=data_objects,
+        bss_size=profile.bss_bytes,
+        seed=b"paper-workload",
+    )
+
+
+def _calibrate(
+    spec: ProgramSpec, profile: WorkloadProfile, target: int, libc: LibcBuild
+) -> ProgramSpec:
+    """Resize filler kernels until the plain build hits the target."""
+    tolerance = max(10, target // _TOLERANCE_DIVISOR)
+    filler = FunctionSpec(
+        name=f"{profile.name}_fill",
+        n_blocks=1,
+        ops_per_block=(64, 64),
+        frame_slots=max(profile.frame_slots[0], 2),
+        store_bias=profile.store_bias,
+    )
+    spec.functions.append(filler)
+
+    for _round in range(_MAX_CALIBRATION_ROUNDS):
+        compiled = Compiler(_PLAIN).compile(spec)
+        measured = link(compiled, libc).insn_count
+        deficit = target - measured
+        if abs(deficit) <= tolerance:
+            return spec
+        new_ops = filler.ops_per_block[0] + deficit
+        if new_ops < 1:
+            # The filler cannot shrink enough: cut whole blocks from the
+            # largest function instead (block removal never invalidates
+            # symbol references) and reset the filler.
+            shrinkable = [
+                f for f in spec.functions
+                if f is not filler and f.name != "main" and f.n_blocks > 1
+            ]
+            if not shrinkable:
+                raise ToolchainError(
+                    f"{profile.name}: cannot shrink to {target} instructions"
+                )
+            fat = max(shrinkable, key=lambda f: f.n_blocks)
+            avg_ops = max(sum(fat.ops_per_block) // 2, 1)
+            cut = min(fat.n_blocks - 1, max(1, (64 - new_ops) // avg_ops + 1))
+            fat.n_blocks -= cut
+            new_ops = 64
+        filler.ops_per_block = (new_ops, new_ops)
+    raise ToolchainError(
+        f"{profile.name}: calibration did not converge on {target} "
+        f"(tolerance {tolerance})"
+    )
+
+
+_BUILD_CACHE: dict[tuple, LinkedBinary] = {}
+
+
+def build_workload(
+    name: str,
+    *,
+    stack_protector: bool = False,
+    ifcc: bool = False,
+    libc: LibcBuild | None = None,
+    scale: float | None = None,
+) -> LinkedBinary:
+    """Build one paper benchmark with the requested instrumentation.
+
+    Plain builds match Figure 3's ``#Inst`` within 0.1%; instrumented
+    builds grow by the instrumentation overhead, as in Figures 4-5.
+    Results are cached per (name, flags, libc version, scale).
+    """
+    if name not in PROFILES:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(PROFILES)}"
+        )
+    profile = PROFILES[name]
+    libc = libc or build_libc()
+    if scale is None:
+        scale = float(os.environ.get("REPRO_WORKLOAD_SCALE", "1.0"))
+    key = (name, stack_protector, ifcc, libc.version, scale)
+    cached = _BUILD_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    # The floor keeps tiny scales feasible: the retained libc plus a
+    # minimum of client code.
+    imports = sorted(set(profile.libc_pool))
+    libc_insns = sum(libc.function(n).insn_count for n in libc.closure(imports))
+    target = max(int(profile.target_insns * scale), libc_insns + 1500)
+    rng = HmacDrbg(b"workload-" + name.encode())
+    spec = _generate_base(profile, target, libc, rng)
+    spec = _calibrate(spec, profile, target, libc)
+
+    flags = CompilerFlags(stack_protector=stack_protector, ifcc=ifcc)
+    binary = link(Compiler(flags).compile(spec), libc)
+    _BUILD_CACHE[key] = binary
+    return binary

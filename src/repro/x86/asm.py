@@ -1,0 +1,270 @@
+"""Label-resolving assembler with NaCl bundle discipline.
+
+Sits on top of :mod:`repro.x86.encoder`.  Supports:
+
+* local labels with rel32 branch/call fixups,
+* *external* fixups (symbolic calls / RIP-relative LEAs) left for the
+  static linker to patch (:mod:`repro.toolchain.linker`),
+* the NaCl constraint that no instruction may overlap a 32-byte bundle
+  boundary — the assembler transparently inserts canonical NOPs, and
+  `align()` force-starts a fresh bundle (used for function entries and
+  IFCC jump tables).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..errors import EncodeError
+from .encoder import Enc
+from .insn import Mem
+from .registers import Reg
+
+__all__ = ["Label", "ExternalFixup", "Assembler", "BUNDLE_SIZE"]
+
+BUNDLE_SIZE = 32
+
+_I32 = struct.Struct("<i")
+
+
+@dataclass(eq=False)
+class Label:
+    """A position in the instruction stream, bound at most once."""
+
+    name: str
+    offset: int | None = None
+
+    @property
+    def bound(self) -> bool:
+        return self.offset is not None
+
+
+@dataclass(frozen=True)
+class ExternalFixup:
+    """A rel32 slot referring to a symbol resolved at link time.
+
+    *patch_offset* is where the 4-byte rel32 lives; *next_offset* is the end
+    of the instruction (x86 relative operands are relative to the *next*
+    instruction); *addend* shifts the target (e.g. to address into a table).
+    """
+
+    symbol: str
+    patch_offset: int
+    next_offset: int
+    addend: int = 0
+
+
+class Assembler:
+    """Emit instructions into a growing buffer, enforcing bundling."""
+
+    def __init__(self, *, bundle: bool = True) -> None:
+        self._buf = bytearray()
+        self._bundle = bundle
+        self._labels: list[Label] = []
+        # (patch_offset, next_offset, label) triples awaiting resolution
+        self._local_fixups: list[tuple[int, int, Label]] = []
+        self.external_fixups: list[ExternalFixup] = []
+        self.instruction_count = 0
+
+    # ------------------------------------------------------------ basics
+
+    @property
+    def offset(self) -> int:
+        return len(self._buf)
+
+    def label(self, name: str = "") -> Label:
+        lbl = Label(name or f".L{len(self._labels)}")
+        self._labels.append(lbl)
+        return lbl
+
+    def bind(self, label: Label) -> None:
+        if label.bound:
+            raise EncodeError(f"label {label.name} bound twice")
+        label.offset = self.offset
+
+    def raw(self, data: bytes, instructions: int) -> None:
+        """Append pre-encoded bytes counting as *instructions* instructions."""
+        self._emit(data, count=instructions)
+
+    def _emit(self, encoded: bytes, count: int = 1) -> None:
+        if self._bundle:
+            pos = len(self._buf) % BUNDLE_SIZE
+            if pos + len(encoded) > BUNDLE_SIZE:
+                pad = BUNDLE_SIZE - pos
+                padding = Enc.nop_pad(pad)
+                self._buf += padding
+                self.instruction_count += _nop_count(pad)
+        self._buf += encoded
+        self.instruction_count += count
+
+    def align(self, boundary: int = BUNDLE_SIZE) -> None:
+        """Pad with NOPs so the next instruction starts a fresh boundary."""
+        rem = len(self._buf) % boundary
+        if rem:
+            pad = boundary - rem
+            self._buf += Enc.nop_pad(pad)
+            self.instruction_count += _nop_count(pad)
+
+    # -------------------------------------------------- data processing
+
+    def mov_rr(self, src: Reg, dst: Reg) -> None:
+        self._emit(Enc.mov_rr(src, dst))
+
+    def mov_store(self, src: Reg, mem: Mem) -> None:
+        self._emit(Enc.mov_store(src, mem))
+
+    def mov_load(self, mem: Mem, dst: Reg) -> None:
+        self._emit(Enc.mov_load(mem, dst))
+
+    def mov_imm(self, value: int, dst: Reg) -> None:
+        self._emit(Enc.mov_imm(value, dst))
+
+    def mov_imm_store(self, value: int, mem: Mem, size: int = 64) -> None:
+        self._emit(Enc.mov_imm_store(value, mem, size))
+
+    def lea(self, mem: Mem, dst: Reg) -> None:
+        self._emit(Enc.lea(mem, dst))
+
+    def alu_rr(self, op: str, src: Reg, dst: Reg) -> None:
+        self._emit(Enc.alu_rr(op, src, dst))
+
+    def alu_store(self, op: str, src: Reg, mem: Mem) -> None:
+        self._emit(Enc.alu_store(op, src, mem))
+
+    def alu_load(self, op: str, mem: Mem, dst: Reg) -> None:
+        self._emit(Enc.alu_load(op, mem, dst))
+
+    def alu_imm(self, op: str, value: int, dst: Reg | Mem, size: int = 64) -> None:
+        self._emit(Enc.alu_imm(op, value, dst, size))
+
+    def test_rr(self, src: Reg, dst: Reg) -> None:
+        self._emit(Enc.test_rr(src, dst))
+
+    def imul_rr(self, src: Reg | Mem, dst: Reg) -> None:
+        self._emit(Enc.imul_rr(src, dst))
+
+    def shift_imm(self, op: str, amount: int, dst: Reg | Mem, size: int = 64) -> None:
+        self._emit(Enc.shift_imm(op, amount, dst, size))
+
+    def unary(self, op: str, dst: Reg | Mem, size: int = 64) -> None:
+        self._emit(Enc.unary(op, dst, size))
+
+    def push(self, reg: Reg) -> None:
+        self._emit(Enc.push(reg))
+
+    def pop(self, reg: Reg) -> None:
+        self._emit(Enc.pop(reg))
+
+    def nop(self, length: int = 1) -> None:
+        self._emit(Enc.nop(length))
+
+    def ret(self) -> None:
+        self._emit(Enc.ret())
+
+    def leave(self) -> None:
+        self._emit(Enc.leave())
+
+    def ud2(self) -> None:
+        self._emit(Enc.ud2())
+
+    # ------------------------------------------------------ control flow
+
+    def call_label(self, label: Label) -> None:
+        self._emit_rel32(b"\xe8", label)
+
+    def jmp_label(self, label: Label) -> None:
+        self._emit_rel32(b"\xe9", label)
+
+    def jcc_label(self, cond: str, label: Label) -> None:
+        encoded = Enc.jcc_rel32(cond, 0)
+        self._emit_rel32(encoded[:-4], label, preencoded=True)
+
+    def call_reg(self, reg: Reg) -> None:
+        self._emit(Enc.call_rm(reg))
+
+    def call_mem(self, mem: Mem) -> None:
+        self._emit(Enc.call_rm(mem))
+
+    def jmp_reg(self, reg: Reg) -> None:
+        self._emit(Enc.jmp_rm(reg))
+
+    def call_symbol(self, symbol: str) -> None:
+        """Direct call to an external symbol (rel32 patched by the linker)."""
+        self._emit_external(b"\xe8", symbol)
+
+    def jmp_symbol(self, symbol: str) -> None:
+        """Direct jump to an external symbol (used by jump-table entries)."""
+        self._emit_external(b"\xe9", symbol)
+
+    def lea_symbol(self, symbol: str, dst: Reg, addend: int = 0) -> None:
+        """RIP-relative LEA of an external symbol's address into *dst*."""
+        self._emit_rip_operand(Enc.lea(Mem(rip_relative=True, disp=0), dst), symbol, addend)
+
+    def mov_load_symbol(self, symbol: str, dst: Reg, addend: int = 0) -> None:
+        """RIP-relative load of an external symbol's 8-byte value into *dst*."""
+        self._emit_rip_operand(
+            Enc.mov_load(Mem(rip_relative=True, disp=0), dst), symbol, addend
+        )
+
+    def mov_store_symbol(self, src: Reg, symbol: str, addend: int = 0) -> None:
+        """RIP-relative store of *src* into an external symbol's 8-byte slot."""
+        self._emit_rip_operand(
+            Enc.mov_store(src, Mem(rip_relative=True, disp=0)), symbol, addend
+        )
+
+    def _emit_rip_operand(self, encoded: bytes, symbol: str, addend: int) -> None:
+        # rel32 is the trailing 4 bytes of a RIP-relative encoding with no
+        # immediate (lea/mov reg forms only).
+        self._reserve_bundle(len(encoded))
+        patch = len(self._buf) + len(encoded) - 4
+        self._buf += encoded
+        self.instruction_count += 1
+        self.external_fixups.append(
+            ExternalFixup(symbol, patch, len(self._buf), addend)
+        )
+
+    def _emit_rel32(self, opcode: bytes, label: Label, preencoded: bool = False) -> None:
+        total = len(opcode) + 4
+        self._reserve_bundle(total)
+        patch = len(self._buf) + len(opcode)
+        self._buf += opcode + b"\x00\x00\x00\x00"
+        self.instruction_count += 1
+        self._local_fixups.append((patch, len(self._buf), label))
+
+    def _emit_external(self, opcode: bytes, symbol: str) -> None:
+        total = len(opcode) + 4
+        self._reserve_bundle(total)
+        patch = len(self._buf) + len(opcode)
+        self._buf += opcode + b"\x00\x00\x00\x00"
+        self.instruction_count += 1
+        self.external_fixups.append(ExternalFixup(symbol, patch, len(self._buf)))
+
+    def _reserve_bundle(self, length: int) -> None:
+        if self._bundle:
+            pos = len(self._buf) % BUNDLE_SIZE
+            if pos + length > BUNDLE_SIZE:
+                pad = BUNDLE_SIZE - pos
+                self._buf += Enc.nop_pad(pad)
+                self.instruction_count += _nop_count(pad)
+
+    # ------------------------------------------------------------ output
+
+    def finish(self) -> bytes:
+        """Resolve local fixups and return the encoded bytes.
+
+        External fixups remain in :attr:`external_fixups`; the linker
+        rebases their offsets and patches them after layout.
+        """
+        for patch, next_off, label in self._local_fixups:
+            if not label.bound:
+                raise EncodeError(f"unbound label {label.name}")
+            rel = label.offset - next_off
+            self._buf[patch:patch + 4] = _I32.pack(rel)
+        return bytes(self._buf)
+
+
+def _nop_count(pad: int) -> int:
+    """Number of NOP instructions `Enc.nop_pad` emits for *pad* bytes."""
+    full, rem = divmod(pad, 9)
+    return full + (1 if rem else 0)

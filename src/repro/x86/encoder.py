@@ -1,0 +1,369 @@
+"""x86-64 instruction encoder.
+
+Encodes the subset of the ISA the mini toolchain emits and the EnGarde
+policy idioms require: 32/64-bit MOV/LEA/ALU forms, %fs-segment absolute
+addressing (stack canaries), RIP-relative LEA (PIE address materialisation),
+push/pop, shifts, direct and indirect calls/jumps, conditional branches, and
+the canonical multi-byte NOPs.
+
+Every function returns raw bytes; label resolution lives one layer up in
+:mod:`repro.x86.asm`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import EncodeError
+from .insn import Imm, Mem
+from .opcodes import ALU_INDEX, CC_CODES, NOPS, PREFIX_FS, PREFIX_GS, REX_BASE
+from .registers import Reg
+
+__all__ = ["encode_modrm", "Enc"]
+
+_I8 = struct.Struct("<b")
+_I32 = struct.Struct("<i")
+_I64 = struct.Struct("<q")
+_U32 = struct.Struct("<I")
+
+
+def _fits8(v: int) -> bool:
+    return -128 <= v <= 127
+
+
+def _fits32(v: int) -> bool:
+    return -(1 << 31) <= v < (1 << 31)
+
+
+def encode_modrm(reg_field: int, rm: Reg | Mem) -> tuple[int, int, int, bytes]:
+    """Encode ModRM (+SIB +disp) for *rm* with *reg_field* in ModRM.reg.
+
+    Returns (rex_r, rex_x, rex_b, encoded_bytes).  *reg_field* is the full
+    4-bit register number (or opcode extension digit, which never exceeds 7).
+    """
+    rex_r = (reg_field >> 3) & 1
+    reg3 = reg_field & 0b111
+
+    if isinstance(rm, Reg):
+        modrm = (0b11 << 6) | (reg3 << 3) | rm.low3
+        return rex_r, 0, (rm.num >> 3) & 1, bytes((modrm,))
+
+    if rm.rip_relative:
+        modrm = (0b00 << 6) | (reg3 << 3) | 0b101
+        return rex_r, 0, 0, bytes((modrm,)) + _I32.pack(rm.disp)
+
+    base, index, scale, disp = rm.base, rm.index, rm.scale, rm.disp
+
+    if base is None and index is None:
+        # Absolute disp32: ModRM rm=100 + SIB base=101/index=100 (none).
+        if not _fits32(disp):
+            raise EncodeError(f"absolute displacement {disp:#x} exceeds 32 bits")
+        modrm = (0b00 << 6) | (reg3 << 3) | 0b100
+        return rex_r, 0, 0, bytes((modrm, 0x25)) + _I32.pack(disp)
+
+    if not _fits32(disp):
+        raise EncodeError(f"displacement {disp:#x} exceeds 32 bits")
+
+    # Choose mod by displacement size.  (%rbp/%r13 base cannot use mod=00.)
+    if disp == 0 and (base is None or base.low3 != 0b101):
+        mod, disp_bytes = 0b00, b""
+    elif _fits8(disp):
+        mod, disp_bytes = 0b01, _I8.pack(disp)
+    else:
+        mod, disp_bytes = 0b10, _I32.pack(disp)
+
+    if index is None and base is not None and base.low3 != 0b100:
+        # Simple [base + disp], no SIB needed.
+        modrm = (mod << 6) | (reg3 << 3) | base.low3
+        return rex_r, 0, (base.num >> 3) & 1, bytes((modrm,)) + disp_bytes
+
+    # SIB required: base is rsp/r12, or an index is present, or index-only.
+    if index is not None and index.low3 == 0b100 and index.num == 4:
+        raise EncodeError("%rsp cannot be an index register")
+    scale_bits = {1: 0, 2: 1, 4: 2, 8: 3}[scale]
+    index_bits = index.low3 if index is not None else 0b100
+    rex_x = ((index.num >> 3) & 1) if index is not None else 0
+
+    if base is None:
+        # Index-only: SIB base=101 with mod=00 means disp32 follows.
+        modrm = (0b00 << 6) | (reg3 << 3) | 0b100
+        sib = (scale_bits << 6) | (index_bits << 3) | 0b101
+        return rex_r, rex_x, 0, bytes((modrm, sib)) + _I32.pack(disp)
+
+    modrm = (mod << 6) | (reg3 << 3) | 0b100
+    sib = (scale_bits << 6) | (index_bits << 3) | base.low3
+    return rex_r, rex_x, (base.num >> 3) & 1, bytes((modrm, sib)) + disp_bytes
+
+
+def _seg_prefix(rm: Reg | Mem) -> bytes:
+    if isinstance(rm, Mem) and rm.seg:
+        if rm.seg == "fs":
+            return bytes((PREFIX_FS,))
+        if rm.seg == "gs":
+            return bytes((PREFIX_GS,))
+        raise EncodeError(f"unsupported segment {rm.seg!r}")
+    return b""
+
+
+def _build(
+    opcode: bytes,
+    reg_field: int,
+    rm: Reg | Mem,
+    *,
+    size: int,
+    imm: bytes = b"",
+) -> bytes:
+    """Assemble prefixes + REX + opcode + ModRM/SIB/disp + immediate."""
+    rex_r, rex_x, rex_b, tail = encode_modrm(reg_field, rm)
+    rex = REX_BASE | ((size == 64) << 3) | (rex_r << 2) | (rex_x << 1) | rex_b
+    out = _seg_prefix(rm)
+    if rex != REX_BASE:
+        out += bytes((rex,))
+    return out + opcode + tail + imm
+
+
+class Enc:
+    """Namespace of encoders.  All return the raw instruction bytes.
+
+    Operand order follows AT&T convention (source, destination), matching
+    both the paper's listings and the decoded representation.
+    """
+
+    # ------------------------------------------------------------- moves
+
+    @staticmethod
+    def mov_rr(src: Reg, dst: Reg) -> bytes:
+        _check_same_width(src, dst)
+        return _build(b"\x89", src.num, dst, size=src.bits)
+
+    @staticmethod
+    def mov_store(src: Reg, mem: Mem) -> bytes:
+        return _build(b"\x89", src.num, mem, size=src.bits)
+
+    @staticmethod
+    def mov_load(mem: Mem, dst: Reg) -> bytes:
+        return _build(b"\x8b", dst.num, mem, size=dst.bits)
+
+    @staticmethod
+    def mov_imm(value: int, dst: Reg) -> bytes:
+        if dst.bits == 64:
+            if _fits32(value):
+                return _build(b"\xc7", 0, dst, size=64, imm=_I32.pack(value))
+            if 0 <= value < (1 << 64):
+                value = value - (1 << 64) if value >= (1 << 63) else value
+            rex = REX_BASE | 0b1000 | ((dst.num >> 3) & 1)
+            return bytes((rex, 0xB8 + dst.low3)) + _I64.pack(value)
+        if not (-(1 << 31) <= value < (1 << 32)):
+            raise EncodeError(f"immediate {value:#x} exceeds 32 bits")
+        prefix = bytes((REX_BASE | 1,)) if dst.num >= 8 else b""
+        return prefix + bytes((0xB8 + dst.low3,)) + _U32.pack(value & 0xFFFFFFFF)
+
+    @staticmethod
+    def mov_imm_store(value: int, mem: Mem, size: int = 64) -> bytes:
+        if not _fits32(value):
+            raise EncodeError("mov to memory takes at most a 32-bit immediate")
+        return _build(b"\xc7", 0, mem, size=size, imm=_I32.pack(value))
+
+    @staticmethod
+    def lea(mem: Mem, dst: Reg) -> bytes:
+        if mem.seg:
+            raise EncodeError("lea ignores segment overrides; refusing to encode one")
+        return _build(b"\x8d", dst.num, mem, size=dst.bits)
+
+    @staticmethod
+    def movsxd(src: Reg | Mem, dst: Reg) -> bytes:
+        if dst.bits != 64:
+            raise EncodeError("movsxd destination must be 64-bit")
+        return _build(b"\x63", dst.num, src, size=64)
+
+    # --------------------------------------------------------------- ALU
+
+    @staticmethod
+    def alu_rr(op: str, src: Reg, dst: Reg) -> bytes:
+        idx = _alu_index(op)
+        _check_same_width(src, dst)
+        return _build(bytes((idx * 8 + 0x01,)), src.num, dst, size=src.bits)
+
+    @staticmethod
+    def alu_store(op: str, src: Reg, mem: Mem) -> bytes:
+        idx = _alu_index(op)
+        return _build(bytes((idx * 8 + 0x01,)), src.num, mem, size=src.bits)
+
+    @staticmethod
+    def alu_load(op: str, mem: Mem, dst: Reg) -> bytes:
+        idx = _alu_index(op)
+        return _build(bytes((idx * 8 + 0x03,)), dst.num, mem, size=dst.bits)
+
+    @staticmethod
+    def alu_imm(op: str, value: int, dst: Reg | Mem, size: int = 64) -> bytes:
+        idx = _alu_index(op)
+        if isinstance(dst, Reg):
+            size = dst.bits
+        if _fits8(value):
+            return _build(b"\x83", idx, dst, size=size, imm=_I8.pack(value))
+        if not _fits32(value):
+            raise EncodeError(f"ALU immediate {value:#x} exceeds 32 bits")
+        return _build(b"\x81", idx, dst, size=size, imm=_I32.pack(value))
+
+    @staticmethod
+    def test_rr(src: Reg, dst: Reg) -> bytes:
+        _check_same_width(src, dst)
+        return _build(b"\x85", src.num, dst, size=src.bits)
+
+    @staticmethod
+    def imul_rr(src: Reg | Mem, dst: Reg) -> bytes:
+        return _build(b"\x0f\xaf", dst.num, src, size=dst.bits)
+
+    @staticmethod
+    def cmov(cond: str, src: Reg | Mem, dst: Reg) -> bytes:
+        """cmovcc r, r/m (0F 40+cc).  *cond* may be "e", "cmove" or "je"."""
+        if cond.startswith("cmov"):
+            cond = cond[4:]
+        cc = _cc(cond)
+        return _build(bytes((0x0F, 0x40 + cc)), dst.num, src, size=dst.bits)
+
+    @staticmethod
+    def xchg_rr(a: Reg, b: Reg) -> bytes:
+        """xchg between two registers (87 /r)."""
+        _check_same_width(a, b)
+        return _build(b"\x87", a.num, b, size=a.bits)
+
+    @staticmethod
+    def xchg_rm(reg: Reg, mem: Mem) -> bytes:
+        """xchg between a register and memory (87 /r, implicitly atomic)."""
+        return _build(b"\x87", reg.num, mem, size=reg.bits)
+
+    @staticmethod
+    def shift_imm(op: str, amount: int, dst: Reg | Mem, size: int = 64) -> bytes:
+        ext = {"shl": 4, "shr": 5, "sar": 7}.get(op)
+        if ext is None:
+            raise EncodeError(f"unknown shift {op!r}")
+        if not 0 <= amount <= 63:
+            raise EncodeError(f"shift amount {amount} out of range")
+        if isinstance(dst, Reg):
+            size = dst.bits
+        return _build(b"\xc1", ext, dst, size=size, imm=bytes((amount,)))
+
+    @staticmethod
+    def unary(op: str, dst: Reg | Mem, size: int = 64) -> bytes:
+        ext = {"not": 2, "neg": 3, "mul": 4, "imul": 5, "div": 6, "idiv": 7}.get(op)
+        if ext is None:
+            raise EncodeError(f"unknown unary op {op!r}")
+        if isinstance(dst, Reg):
+            size = dst.bits
+        return _build(b"\xf7", ext, dst, size=size)
+
+    @staticmethod
+    def incdec(op: str, dst: Reg | Mem, size: int = 64) -> bytes:
+        ext = {"inc": 0, "dec": 1}[op]
+        if isinstance(dst, Reg):
+            size = dst.bits
+        return _build(b"\xff", ext, dst, size=size)
+
+    # ------------------------------------------------------------- stack
+
+    @staticmethod
+    def push(reg: Reg) -> bytes:
+        prefix = bytes((REX_BASE | 1,)) if reg.num >= 8 else b""
+        return prefix + bytes((0x50 + reg.low3,))
+
+    @staticmethod
+    def pop(reg: Reg) -> bytes:
+        prefix = bytes((REX_BASE | 1,)) if reg.num >= 8 else b""
+        return prefix + bytes((0x58 + reg.low3,))
+
+    # ----------------------------------------------------- control flow
+
+    @staticmethod
+    def call_rel32(rel: int) -> bytes:
+        return b"\xe8" + _I32.pack(rel)
+
+    @staticmethod
+    def jmp_rel32(rel: int) -> bytes:
+        return b"\xe9" + _I32.pack(rel)
+
+    @staticmethod
+    def jmp_rel8(rel: int) -> bytes:
+        return b"\xeb" + _I8.pack(rel)
+
+    @staticmethod
+    def jcc_rel32(cond: str, rel: int) -> bytes:
+        cc = _cc(cond)
+        return bytes((0x0F, 0x80 + cc)) + _I32.pack(rel)
+
+    @staticmethod
+    def jcc_rel8(cond: str, rel: int) -> bytes:
+        cc = _cc(cond)
+        return bytes((0x70 + cc,)) + _I8.pack(rel)
+
+    @staticmethod
+    def call_rm(target: Reg | Mem) -> bytes:
+        # Indirect call defaults to 64-bit; no REX.W needed.
+        return _build(b"\xff", 2, target, size=32)
+
+    @staticmethod
+    def jmp_rm(target: Reg | Mem) -> bytes:
+        return _build(b"\xff", 4, target, size=32)
+
+    @staticmethod
+    def ret() -> bytes:
+        return b"\xc3"
+
+    @staticmethod
+    def leave() -> bytes:
+        return b"\xc9"
+
+    @staticmethod
+    def ud2() -> bytes:
+        return b"\x0f\x0b"
+
+    @staticmethod
+    def int3() -> bytes:
+        return b"\xcc"
+
+    @staticmethod
+    def hlt() -> bytes:
+        return b"\xf4"
+
+    @staticmethod
+    def syscall() -> bytes:
+        return b"\x0f\x05"
+
+    @staticmethod
+    def nop(length: int = 1) -> bytes:
+        """A single NOP instruction of exactly *length* bytes (1..9)."""
+        try:
+            return NOPS[length]
+        except KeyError:
+            raise EncodeError(f"no canonical NOP of {length} bytes") from None
+
+    @staticmethod
+    def nop_pad(length: int) -> bytes:
+        """NOP filler totalling *length* bytes (multiple instructions ok)."""
+        out = bytearray()
+        while length > 9:
+            out += NOPS[9]
+            length -= 9
+        if length:
+            out += NOPS[length]
+        return bytes(out)
+
+
+def _alu_index(op: str) -> int:
+    try:
+        return ALU_INDEX[op]
+    except KeyError:
+        raise EncodeError(f"unknown ALU op {op!r}") from None
+
+
+def _cc(cond: str) -> int:
+    mnemonic = cond if cond.startswith("j") else "j" + cond
+    try:
+        return CC_CODES[mnemonic]
+    except KeyError:
+        raise EncodeError(f"unknown condition {cond!r}") from None
+
+
+def _check_same_width(a: Reg, b: Reg) -> None:
+    if a.bits != b.bits:
+        raise EncodeError(f"operand width mismatch: %{a.name} vs %{b.name}")

@@ -1,0 +1,456 @@
+"""An x86-64 interpreter over the supported ISA subset.
+
+The paper stops at *static* inspection ("One can also imagine an
+extension of EnGarde that instruments client code to enforce policies at
+runtime...", section 1).  This interpreter is that extension's substrate:
+it executes the machine code our toolchain emits — inside the simulated
+enclave, against EPC-permission-checked memory — so the loaded client
+image genuinely *runs*, stack canaries genuinely trip, and IFCC masking
+genuinely confines corrupted function pointers.
+
+The interpreter is memory-agnostic: callers supply a :class:`MemoryBus`
+(the enclave adapter lives in :mod:`repro.core.runtime`).  Execution is
+fuel-limited and single-threaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from ..errors import DecodeError, ReproError
+from .decoder import decode_one
+from .insn import Imm, Instruction, Mem
+from .registers import Reg
+
+__all__ = [
+    "MemoryBus", "CpuState", "Interpreter", "ExecutionFault",
+    "FuelExhausted", "HaltExecution", "HALT_ADDRESS",
+]
+
+_MASK64 = (1 << 64) - 1
+_MASK32 = (1 << 32) - 1
+
+#: return address that terminates execution (planted at the stack top)
+HALT_ADDRESS = 0
+
+
+class ExecutionFault(ReproError):
+    """The simulated CPU faulted (bad fetch, bad access, ud2...)."""
+
+
+class FuelExhausted(ExecutionFault):
+    """The instruction budget ran out (runaway guard)."""
+
+
+class HaltExecution(Exception):
+    """Raised by hooks to stop execution deliberately (not an error)."""
+
+    def __init__(self, reason: str = "halt") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class MemoryBus(Protocol):
+    """What the interpreter needs from its environment."""
+
+    def read(self, addr: int, size: int) -> bytes: ...
+
+    def write(self, addr: int, data: bytes) -> None: ...
+
+    def fetch(self, addr: int, size: int) -> bytes: ...
+
+
+@dataclass
+class CpuState:
+    """Architectural state: 16 GPRs, RIP, and the arithmetic flags."""
+
+    regs: list[int] = field(default_factory=lambda: [0] * 16)
+    rip: int = 0
+    zf: bool = False
+    sf: bool = False
+    cf: bool = False
+    of: bool = False
+
+    def get(self, reg: Reg) -> int:
+        value = self.regs[reg.num]
+        return value & (_MASK32 if reg.bits == 32 else _MASK64)
+
+    def set(self, reg: Reg, value: int) -> None:
+        # 32-bit writes zero-extend to 64 bits (x86-64 semantics).
+        if reg.bits == 32:
+            self.regs[reg.num] = value & _MASK32
+        else:
+            self.regs[reg.num] = value & _MASK64
+
+    @property
+    def rsp(self) -> int:
+        return self.regs[4]
+
+    @rsp.setter
+    def rsp(self, value: int) -> None:
+        self.regs[4] = value & _MASK64
+
+
+def _signed(value: int, bits: int) -> int:
+    sign_bit = 1 << (bits - 1)
+    return (value & ((1 << bits) - 1)) - ((value & sign_bit) << 1)
+
+
+class Interpreter:
+    """Executes decoded instructions against a :class:`MemoryBus`.
+
+    *hooks* maps absolute addresses to callables invoked when RIP reaches
+    them *instead of* executing — the runtime layer uses this to intercept
+    ``__stack_chk_fail``/``abort``/``exit`` and to stub host services.  A
+    hook returning ``None`` behaves like a ``ret``; it may also raise
+    :class:`HaltExecution`.
+    """
+
+    def __init__(
+        self,
+        memory: MemoryBus,
+        *,
+        fs_base_read: Callable[[int, int], bytes] | None = None,
+        hooks: dict[int, Callable[["Interpreter"], None]] | None = None,
+        fuel: int = 1_000_000,
+    ) -> None:
+        self.memory = memory
+        self.state = CpuState()
+        self.hooks = hooks or {}
+        self.fuel = fuel
+        self.executed = 0
+        # %fs-segment reads (the canary) come from thread-local storage,
+        # which is not part of the loaded image; the runtime supplies it.
+        self._fs_read = fs_base_read or (lambda off, size: b"\x00" * size)
+        self.call_depth = 0
+
+    # ------------------------------------------------------------ driver
+
+    def run(self, entry: int, stack_top: int) -> CpuState:
+        """Execute from *entry* until the HALT return address pops."""
+        state = self.state
+        state.rip = entry
+        state.rsp = stack_top
+        # Plant the sentinel return address.
+        self.memory.write(stack_top, HALT_ADDRESS.to_bytes(8, "little"))
+        try:
+            while True:
+                self.step()
+        except HaltExecution:
+            pass
+        return state
+
+    def step(self) -> Instruction | None:
+        """Fetch, decode, and execute one instruction."""
+        if self.executed >= self.fuel:
+            raise FuelExhausted(
+                f"fuel exhausted after {self.executed} instructions "
+                f"at rip={self.state.rip:#x}"
+            )
+        rip = self.state.rip
+        if rip == HALT_ADDRESS:
+            raise HaltExecution("returned to runtime")
+
+        hook = self.hooks.get(rip)
+        if hook is not None:
+            self.executed += 1
+            hook(self)
+            self._do_ret()  # hooks behave like functions that return
+            return None
+
+        window = self.memory.fetch(rip, 15)
+        try:
+            insn = decode_one(window, 0)
+        except DecodeError as exc:
+            raise ExecutionFault(f"decode fault at {rip:#x}: {exc}") from exc
+        self.executed += 1
+        self.state.rip = rip + insn.length
+        self._execute(insn, rip)
+        return insn
+
+    # --------------------------------------------------------- operands
+
+    def _ea(self, mem: Mem, insn_end: int) -> int:
+        if mem.seg == "fs":
+            raise ExecutionFault("fs-relative effective address has no linear form")
+        if mem.rip_relative:
+            return (insn_end + mem.disp) & _MASK64
+        addr = mem.disp
+        if mem.base is not None:
+            addr += self.state.regs[mem.base.num]
+        if mem.index is not None:
+            addr += self.state.regs[mem.index.num] * mem.scale
+        return addr & _MASK64
+
+    def _load(self, op, size_bits: int, insn_end: int) -> int:
+        if isinstance(op, Reg):
+            return self.state.get(op)
+        if isinstance(op, Imm):
+            return op.value & (_MASK32 if size_bits == 32 else _MASK64)
+        if isinstance(op, Mem):
+            nbytes = size_bits // 8
+            if op.seg == "fs":
+                raw = self._fs_read(op.disp, nbytes)
+            else:
+                raw = self.memory.read(self._ea(op, insn_end), nbytes)
+            return int.from_bytes(raw, "little")
+        raise ExecutionFault(f"unsupported operand {op!r}")
+
+    def _store(self, op, value: int, size_bits: int, insn_end: int) -> None:
+        if isinstance(op, Reg):
+            self.state.set(op, value)
+            return
+        if isinstance(op, Mem):
+            nbytes = size_bits // 8
+            value &= (1 << size_bits) - 1
+            self.memory.write(self._ea(op, insn_end), value.to_bytes(nbytes, "little"))
+            return
+        raise ExecutionFault(f"cannot store to {op!r}")
+
+    @staticmethod
+    def _width(insn: Instruction) -> int:
+        for op in insn.operands:
+            if isinstance(op, Reg):
+                return op.bits
+        return 64
+
+    # ------------------------------------------------------------ flags
+
+    def _set_logic_flags(self, result: int, bits: int) -> None:
+        s = self.state
+        result &= (1 << bits) - 1
+        s.zf = result == 0
+        s.sf = bool(result >> (bits - 1))
+        s.cf = False
+        s.of = False
+
+    def _set_add_flags(self, a: int, b: int, bits: int) -> int:
+        mask = (1 << bits) - 1
+        result = (a + b) & mask
+        s = self.state
+        s.zf = result == 0
+        s.sf = bool(result >> (bits - 1))
+        s.cf = (a + b) > mask
+        s.of = (_signed(a, bits) + _signed(b, bits)) != _signed(result, bits)
+        return result
+
+    def _set_sub_flags(self, a: int, b: int, bits: int) -> int:
+        """flags and result of a - b."""
+        mask = (1 << bits) - 1
+        result = (a - b) & mask
+        s = self.state
+        s.zf = result == 0
+        s.sf = bool(result >> (bits - 1))
+        s.cf = a < b  # unsigned borrow
+        s.of = (_signed(a, bits) - _signed(b, bits)) != _signed(result, bits)
+        return result
+
+    def _cond(self, mnemonic: str) -> bool:
+        s = self.state
+        table = {
+            "jo": s.of, "jno": not s.of,
+            "jb": s.cf, "jae": not s.cf,
+            "je": s.zf, "jne": not s.zf,
+            "jbe": s.cf or s.zf, "ja": not (s.cf or s.zf),
+            "js": s.sf, "jns": not s.sf,
+            "jp": False, "jnp": True,  # parity untracked; deterministic
+            "jl": s.sf != s.of, "jge": s.sf == s.of,
+            "jle": s.zf or (s.sf != s.of), "jg": not s.zf and s.sf == s.of,
+        }
+        try:
+            return table[mnemonic]
+        except KeyError:
+            raise ExecutionFault(f"unknown condition {mnemonic}") from None
+
+    # ------------------------------------------------------ stack helpers
+
+    def _push(self, value: int) -> None:
+        self.state.rsp = (self.state.rsp - 8) & _MASK64
+        self.memory.write(self.state.rsp, (value & _MASK64).to_bytes(8, "little"))
+
+    def _pop(self) -> int:
+        value = int.from_bytes(self.memory.read(self.state.rsp, 8), "little")
+        self.state.rsp = (self.state.rsp + 8) & _MASK64
+        return value
+
+    def _do_ret(self) -> None:
+        self.state.rip = self._pop()
+        self.call_depth -= 1
+        if self.state.rip == HALT_ADDRESS:
+            raise HaltExecution("returned to runtime")
+
+    # ---------------------------------------------------------- execute
+
+    def _execute(self, insn: Instruction, rip: int) -> None:
+        m = insn.mnemonic
+        end = rip + insn.length
+        s = self.state
+
+        if m in ("nop", "nopl"):
+            return
+        if m == "mov":
+            src, dst = insn.operands
+            bits = self._width(insn)
+            self._store(dst, self._load(src, bits, end), bits, end)
+            return
+        if m == "lea":
+            mem, dst = insn.operands
+            s.set(dst, self._ea(mem, end))
+            return
+        if m.startswith("cmov"):
+            src, dst = insn.operands
+            bits = self._width(insn)
+            if self._cond("j" + m[4:]):
+                self._store(dst, self._load(src, bits, end), bits, end)
+            elif bits == 32 and isinstance(dst, Reg):
+                # cmov always zero-extends the (unchanged) 32-bit dest
+                s.set(dst, s.get(dst))
+            return
+        if m == "xchg":
+            a, b = insn.operands
+            bits = self._width(insn)
+            va = self._load(a, bits, end)
+            vb = self._load(b, bits, end)
+            self._store(a, vb, bits, end)
+            self._store(b, va, bits, end)
+            return
+        if m == "movsxd":
+            src, dst = insn.operands
+            value = _signed(self._load(src, 32, end), 32)
+            s.set(dst, value & _MASK64)
+            return
+        if m in ("add", "sub", "and", "or", "xor", "adc", "sbb"):
+            src, dst = insn.operands
+            bits = self._width(insn)
+            a = self._load(dst, bits, end)
+            b = self._load(src, bits, end)
+            if m == "add":
+                result = self._set_add_flags(a, b, bits)
+            elif m == "sub":
+                result = self._set_sub_flags(a, b, bits)
+            elif m == "adc":
+                result = self._set_add_flags(a, (b + s.cf) & ((1 << bits) - 1), bits)
+            elif m == "sbb":
+                result = self._set_sub_flags(a, (b + s.cf) & ((1 << bits) - 1), bits)
+            else:
+                result = {"and": a & b, "or": a | b, "xor": a ^ b}[m]
+                self._set_logic_flags(result, bits)
+            self._store(dst, result, bits, end)
+            return
+        if m == "cmp":
+            src, dst = insn.operands
+            bits = self._width(insn)
+            self._set_sub_flags(
+                self._load(dst, bits, end), self._load(src, bits, end), bits
+            )
+            return
+        if m == "test":
+            src, dst = insn.operands
+            bits = self._width(insn)
+            self._set_logic_flags(
+                self._load(dst, bits, end) & self._load(src, bits, end), bits
+            )
+            return
+        if m == "imul":
+            if len(insn.operands) == 2:
+                src, dst = insn.operands
+                bits = self._width(insn)
+                result = (_signed(self._load(dst, bits, end), bits)
+                          * _signed(self._load(src, bits, end), bits))
+                self._set_logic_flags(result & ((1 << bits) - 1), bits)
+                self._store(dst, result, bits, end)
+                return
+            raise ExecutionFault("one-operand imul unsupported")
+        if m in ("shl", "shr", "sar"):
+            amount_op, dst = insn.operands
+            bits = self._width(insn)
+            amount = self._load(amount_op, 8, end) & (bits - 1)
+            value = self._load(dst, bits, end)
+            if m == "shl":
+                result = (value << amount) & ((1 << bits) - 1)
+            elif m == "shr":
+                result = value >> amount
+            else:
+                result = (_signed(value, bits) >> amount) & ((1 << bits) - 1)
+            self._set_logic_flags(result, bits)
+            self._store(dst, result, bits, end)
+            return
+        if m in ("inc", "dec"):
+            (dst,) = insn.operands
+            bits = self._width(insn)
+            value = self._load(dst, bits, end)
+            delta = 1 if m == "inc" else -1
+            carry = s.cf  # inc/dec preserve CF
+            result = (self._set_add_flags(value, delta & ((1 << bits) - 1), bits)
+                      if m == "inc" else self._set_sub_flags(value, 1, bits))
+            s.cf = carry
+            self._store(dst, result, bits, end)
+            return
+        if m in ("neg", "not"):
+            (dst,) = insn.operands
+            bits = self._width(insn)
+            value = self._load(dst, bits, end)
+            if m == "neg":
+                result = self._set_sub_flags(0, value, bits)
+            else:
+                result = (~value) & ((1 << bits) - 1)
+            self._store(dst, result, bits, end)
+            return
+        if m == "push":
+            (src,) = insn.operands
+            self._push(self._load(src, 64, end))
+            return
+        if m == "pop":
+            (dst,) = insn.operands
+            self._store(dst, self._pop(), 64, end)
+            return
+        if m == "leave":
+            s.rsp = s.regs[5]  # mov %rbp,%rsp
+            s.regs[5] = self._pop()
+            return
+        if m == "callq":
+            target = (insn.target if insn.target is not None
+                      else self._load(insn.operands[0], 64, end))
+            # relative targets were decoded text-relative; the runtime
+            # rebases decode offsets by fetching at absolute rip, so
+            # insn.target here is already absolute (offset 0 fetch base).
+            if insn.target is not None:
+                target = rip + (insn.target - insn.offset)
+            self._push(s.rip)
+            self.call_depth += 1
+            hook = self.hooks.get(target)
+            if hook is not None:
+                hook(self)
+                self._do_ret()
+                return
+            s.rip = target
+            return
+        if m == "jmpq":
+            if insn.target is not None:
+                s.rip = rip + (insn.target - insn.offset)
+            else:
+                s.rip = self._load(insn.operands[0], 64, end)
+            return
+        if m in ("ret", "retq"):
+            self._do_ret()
+            return
+        if m.startswith("j"):
+            if insn.target is None:
+                raise ExecutionFault(f"conditional branch without target at {rip:#x}")
+            if self._cond(m):
+                s.rip = rip + (insn.target - insn.offset)
+            return
+        if m == "ud2":
+            raise ExecutionFault(f"ud2 executed at {rip:#x}")
+        if m == "int3":
+            raise ExecutionFault(f"breakpoint trap at {rip:#x}")
+        if m == "hlt":
+            raise ExecutionFault(f"hlt in user code at {rip:#x}")
+        if m == "syscall":
+            raise ExecutionFault(
+                f"syscall at {rip:#x}: enclave code cannot invoke OS services"
+            )
+        if m in ("mul", "div", "idiv"):
+            raise ExecutionFault(f"{m} unsupported by this interpreter")
+        raise ExecutionFault(f"unimplemented mnemonic {m!r} at {rip:#x}")

@@ -1,0 +1,65 @@
+"""Shared opcode constants: ALU group indices, condition codes, NOP forms.
+
+The encoder and decoder both key off these tables so they cannot drift
+apart; round-trip property tests (encode -> decode -> compare) pin the
+correspondence.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ALU_OPS", "ALU_INDEX", "CC_CODES", "CC_BY_CODE",
+    "GROUP1", "GROUP2", "GROUP3", "GROUP5", "NOPS",
+    "REX_BASE", "PREFIX_FS", "PREFIX_GS", "PREFIX_OPSIZE",
+]
+
+# Group-1 ALU operations: opcode /digit and the 0x01/0x03-family base.
+ALU_OPS = ("add", "or", "adc", "sbb", "and", "sub", "xor", "cmp")
+ALU_INDEX = {name: i for i, name in enumerate(ALU_OPS)}
+
+# Condition codes for Jcc (0x70+cc rel8, 0x0F 0x80+cc rel32).  The decoder
+# normalises to the first listed mnemonic.
+CC_CODES = {
+    "jo": 0x0, "jno": 0x1,
+    "jb": 0x2, "jc": 0x2, "jnae": 0x2,
+    "jae": 0x3, "jnb": 0x3, "jnc": 0x3,
+    "je": 0x4, "jz": 0x4,
+    "jne": 0x5, "jnz": 0x5,
+    "jbe": 0x6, "jna": 0x6,
+    "ja": 0x7, "jnbe": 0x7,
+    "js": 0x8, "jns": 0x9,
+    "jp": 0xA, "jnp": 0xB,
+    "jl": 0xC, "jge": 0xD,
+    "jle": 0xE, "jg": 0xF,
+}
+CC_BY_CODE = {
+    0x0: "jo", 0x1: "jno", 0x2: "jb", 0x3: "jae", 0x4: "je", 0x5: "jne",
+    0x6: "jbe", 0x7: "ja", 0x8: "js", 0x9: "jns", 0xA: "jp", 0xB: "jnp",
+    0xC: "jl", 0xD: "jge", 0xE: "jle", 0xF: "jg",
+}
+
+# Group opcodes: ModRM.reg selects the operation.
+GROUP1 = dict(enumerate(ALU_OPS))                      # 0x81 / 0x83
+GROUP2 = {4: "shl", 5: "shr", 7: "sar"}                # 0xC1
+GROUP3 = {0: "test", 2: "not", 3: "neg",               # 0xF7
+          4: "mul", 5: "imul", 6: "div", 7: "idiv"}
+GROUP5 = {0: "inc", 1: "dec", 2: "callq", 4: "jmpq", 6: "push"}  # 0xFF
+
+# Canonical multi-byte NOP encodings (Intel SDM recommended forms), used by
+# the assembler for 32-byte bundle padding.
+NOPS = {
+    1: bytes((0x90,)),
+    2: bytes((0x66, 0x90)),
+    3: bytes((0x0F, 0x1F, 0x00)),
+    4: bytes((0x0F, 0x1F, 0x40, 0x00)),
+    5: bytes((0x0F, 0x1F, 0x44, 0x00, 0x00)),
+    6: bytes((0x66, 0x0F, 0x1F, 0x44, 0x00, 0x00)),
+    7: bytes((0x0F, 0x1F, 0x80, 0x00, 0x00, 0x00, 0x00)),
+    8: bytes((0x0F, 0x1F, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00)),
+    9: bytes((0x66, 0x0F, 0x1F, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00)),
+}
+
+REX_BASE = 0x40
+PREFIX_FS = 0x64
+PREFIX_GS = 0x65
+PREFIX_OPSIZE = 0x66

@@ -1,0 +1,88 @@
+"""x86-64 register model.
+
+Registers are identified by their hardware number (0-15) plus a width in
+bits.  The encoder uses the number directly in ModRM/SIB fields and sets the
+relevant REX extension bits for numbers >= 8; the decoder reverses this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Reg", "GPR64", "GPR32",
+    "RAX", "RCX", "RDX", "RBX", "RSP", "RBP", "RSI", "RDI",
+    "R8", "R9", "R10", "R11", "R12", "R13", "R14", "R15",
+    "EAX", "ECX", "EDX", "EBX", "ESP", "EBP", "ESI", "EDI",
+    "R8D", "R9D", "R10D", "R11D", "R12D", "R13D", "R14D", "R15D",
+    "reg_name", "reg_by_name",
+]
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A general-purpose register: hardware number + operand width."""
+
+    num: int
+    bits: int  # 64 or 32
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.num <= 15:
+            raise ValueError(f"register number out of range: {self.num}")
+        if self.bits not in (32, 64):
+            raise ValueError(f"unsupported register width: {self.bits}")
+
+    @property
+    def name(self) -> str:
+        return reg_name(self.num, self.bits)
+
+    @property
+    def needs_rex_bit(self) -> bool:
+        return self.num >= 8
+
+    @property
+    def low3(self) -> int:
+        """The low 3 bits used in ModRM/SIB fields."""
+        return self.num & 0b111
+
+    def as_bits(self, bits: int) -> "Reg":
+        """The same hardware register at a different width."""
+        return Reg(self.num, bits)
+
+    def __repr__(self) -> str:
+        return f"%{self.name}"
+
+
+_NAMES64 = (
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+_NAMES32 = (
+    "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+    "r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d",
+)
+
+
+def reg_name(num: int, bits: int) -> str:
+    """AT&T-style register name for a (number, width) pair."""
+    table = _NAMES64 if bits == 64 else _NAMES32
+    return table[num]
+
+
+def reg_by_name(name: str) -> Reg:
+    """Look up a register by its AT&T name (without the % sigil)."""
+    name = name.lstrip("%").lower()
+    if name in _NAMES64:
+        return Reg(_NAMES64.index(name), 64)
+    if name in _NAMES32:
+        return Reg(_NAMES32.index(name), 32)
+    raise KeyError(f"unknown register {name!r}")
+
+
+GPR64 = tuple(Reg(i, 64) for i in range(16))
+GPR32 = tuple(Reg(i, 32) for i in range(16))
+
+(RAX, RCX, RDX, RBX, RSP, RBP, RSI, RDI,
+ R8, R9, R10, R11, R12, R13, R14, R15) = GPR64
+(EAX, ECX, EDX, EBX, ESP, EBP, ESI, EDI,
+ R8D, R9D, R10D, R11D, R12D, R13D, R14D, R15D) = GPR32

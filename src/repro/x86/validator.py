@@ -1,0 +1,116 @@
+"""NaCl-style structural validation of disassembled code.
+
+The paper (section 3) lists the constraints NaCl's disassembler imposes and
+EnGarde inherits:
+
+* no instruction may overlap a 32-byte boundary,
+* all control transfers must target valid instruction starts,
+* all valid instructions must be reachable from the start address.
+
+`validate` enforces all three over a decoded instruction list.  Reachability
+treats the entry point plus any caller-supplied *roots* (function symbols,
+relocation targets — e.g. IFCC jump-table entries reached only through
+indirect calls) as sources, and propagates through fall-through edges and
+direct branch/call targets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..errors import ValidationError
+from .asm import BUNDLE_SIZE
+from .insn import Instruction
+
+__all__ = ["validate", "check_bundles", "check_targets", "check_reachability"]
+
+
+def check_bundles(instructions: list[Instruction], bundle_size: int = BUNDLE_SIZE) -> None:
+    """Reject any instruction overlapping a *bundle_size*-byte boundary."""
+    for insn in instructions:
+        first_bundle = insn.offset // bundle_size
+        last_bundle = (insn.end - 1) // bundle_size
+        if first_bundle != last_bundle:
+            raise ValidationError(
+                f"instruction at {insn.offset:#x} ({insn.mnemonic}, "
+                f"{insn.length} bytes) overlaps a {bundle_size}-byte boundary"
+            )
+
+
+def check_targets(instructions: list[Instruction]) -> set[int]:
+    """Check all static branch targets land on instruction starts.
+
+    Returns the set of valid instruction-start offsets for reuse.
+    """
+    starts = {insn.offset for insn in instructions}
+    for insn in instructions:
+        if insn.target is None:
+            continue
+        if insn.target not in starts:
+            raise ValidationError(
+                f"{insn.mnemonic} at {insn.offset:#x} targets {insn.target:#x}, "
+                "which is not a valid instruction start"
+            )
+    return starts
+
+
+def check_reachability(
+    instructions: list[Instruction],
+    entry: int = 0,
+    roots: Iterable[int] = (),
+) -> None:
+    """Check every instruction is reachable from *entry* or a root.
+
+    NOP padding inserted for bundle alignment after an unconditional
+    terminator is exempt (it can never execute, and compilers routinely
+    emit it); everything else must be reachable.
+    """
+    by_offset = {insn.offset: i for i, insn in enumerate(instructions)}
+    if entry not in by_offset and instructions:
+        raise ValidationError(f"entry point {entry:#x} is not an instruction start")
+
+    reachable = [False] * len(instructions)
+    stack = []
+    for origin in [entry, *roots]:
+        idx = by_offset.get(origin)
+        if idx is None:
+            raise ValidationError(f"root {origin:#x} is not an instruction start")
+        stack.append(idx)
+
+    while stack:
+        idx = stack.pop()
+        if idx >= len(instructions) or reachable[idx]:
+            continue
+        reachable[idx] = True
+        insn = instructions[idx]
+        if insn.target is not None:
+            tgt = by_offset.get(insn.target)
+            if tgt is not None and not reachable[tgt]:
+                stack.append(tgt)
+        if not insn.is_terminator and idx + 1 < len(instructions):
+            if not reachable[idx + 1]:
+                stack.append(idx + 1)
+
+    for idx, insn in enumerate(instructions):
+        if reachable[idx]:
+            continue
+        if insn.mnemonic in ("nop", "nopl"):
+            continue  # dead alignment padding
+        raise ValidationError(
+            f"unreachable instruction at {insn.offset:#x} ({insn.mnemonic})"
+        )
+
+
+def validate(
+    instructions: list[Instruction],
+    *,
+    entry: int = 0,
+    roots: Iterable[int] = (),
+    bundle_size: int = BUNDLE_SIZE,
+) -> None:
+    """Run all three NaCl constraints; raises :class:`ValidationError`."""
+    if not instructions:
+        raise ValidationError("empty instruction stream")
+    check_bundles(instructions, bundle_size)
+    check_targets(instructions)
+    check_reachability(instructions, entry, roots)

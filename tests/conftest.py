@@ -1,0 +1,111 @@
+"""Shared fixtures: a session-scoped libc build and small demo programs.
+
+The libc build and compiled demo binaries are deterministic and somewhat
+expensive, so they are built once per session.  SGX machines in tests use
+deliberately small EPC/heap sizes — behaviour, not capacity, is under test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    IfccPolicy,
+    LibraryLinkingPolicy,
+    PolicyRegistry,
+    StackProtectionPolicy,
+)
+from repro.sgx import SgxParams
+from repro.toolchain import (
+    Compiler,
+    CompilerFlags,
+    DataObject,
+    FunctionSpec,
+    ProgramSpec,
+    build_libc,
+    link,
+)
+
+
+@pytest.fixture(scope="session")
+def libc():
+    return build_libc()
+
+
+@pytest.fixture(scope="session")
+def libc_old():
+    """A different library version: every function hash differs."""
+    return build_libc("1.0.4")
+
+
+def make_demo_spec(name: str = "demo") -> ProgramSpec:
+    """A small three-function program exercising every feature the
+    policies look at: libc calls, client-to-client calls, an indirect
+    call, and address-taken functions."""
+    return ProgramSpec(
+        name=name,
+        functions=[
+            FunctionSpec(
+                "main", n_blocks=4,
+                direct_calls=["helper", "memcpy", "printf"],
+                indirect_calls=1,
+            ),
+            FunctionSpec(
+                "helper", n_blocks=2, direct_calls=["strlen"],
+                address_taken=True,
+            ),
+            FunctionSpec("callback", n_blocks=1, address_taken=True),
+        ],
+        libc_imports=["memcpy", "printf", "strlen"],
+        data_objects=[DataObject("globals", 64, init=b"hello")],
+    )
+
+
+@pytest.fixture(scope="session")
+def demo_spec():
+    return make_demo_spec()
+
+
+def compile_demo(libc, *, stack_protector=False, ifcc=False, name="demo"):
+    flags = CompilerFlags(stack_protector=stack_protector, ifcc=ifcc)
+    return link(Compiler(flags).compile(make_demo_spec(name)), libc)
+
+
+@pytest.fixture(scope="session")
+def demo_plain(libc):
+    return compile_demo(libc)
+
+
+@pytest.fixture(scope="session")
+def demo_instrumented(libc):
+    """Fully instrumented: passes all three paper policies."""
+    return compile_demo(libc, stack_protector=True, ifcc=True)
+
+
+@pytest.fixture(scope="session")
+def all_policies(libc):
+    return PolicyRegistry([
+        LibraryLinkingPolicy(libc.reference_hashes()),
+        StackProtectionPolicy(exempt_functions=set(libc.offsets)),
+        IfccPolicy(),
+    ])
+
+
+@pytest.fixture()
+def small_params():
+    """An SGX machine sized for tests (fast to build, still realistic)."""
+    return SgxParams(epc_pages=4096, heap_initial_pages=64)
+
+
+def small_provider(policies, **overrides):
+    """A CloudProvider with test-friendly sizes."""
+    from repro.core import CloudProvider
+
+    defaults = dict(
+        params=SgxParams(epc_pages=4096, heap_initial_pages=64),
+        rsa_bits=768,
+        client_pages=64,
+        enclave_pages=0x2000,
+    )
+    defaults.update(overrides)
+    return CloudProvider(policies, **defaults)

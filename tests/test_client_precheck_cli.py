@@ -1,0 +1,79 @@
+"""Client-side independent pre-checking and the CLI entry point."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import EnGarde
+from tests.conftest import compile_demo
+
+
+class TestClientPrecheck:
+    """Paper section 3: 'The client can also use EnGarde to independently
+    verify policy compliance of the enclave code that it wants to
+    provision' — i.e. run the same inspection locally, no enclave needed."""
+
+    def test_precheck_predicts_acceptance(self, libc, all_policies,
+                                          demo_instrumented):
+        engarde = EnGarde(all_policies)
+        outcome = engarde.inspect(demo_instrumented.elf)
+        assert outcome.accepted  # safe to submit
+
+    def test_precheck_predicts_rejection(self, libc, all_policies, demo_plain):
+        engarde = EnGarde(all_policies)
+        outcome = engarde.inspect(demo_plain.elf)
+        assert not outcome.accepted
+        # the client sees the full violation details locally — unlike the
+        # provider, who only ever gets the policy names
+        details = [v for r in outcome.policy_results for v in r.violations]
+        assert details
+
+    def test_precheck_matches_provider_verdict(self, libc, all_policies):
+        from repro.core import EnclaveClient, provision
+        from tests.conftest import small_provider
+
+        for instrumented in (False, True):
+            binary = compile_demo(
+                libc, stack_protector=instrumented, ifcc=instrumented,
+                name=f"precheck{instrumented}",
+            )
+            local = EnGarde(all_policies).inspect(binary.elf).accepted
+            result = provision(
+                small_provider(all_policies),
+                EnclaveClient(binary.elf, policies=all_policies),
+            )
+            assert local == result.accepted
+
+
+@pytest.mark.slow
+class TestCli:
+    def _run(self, *args):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout
+
+    def test_fig2(self):
+        out = self._run("fig2")
+        assert "Figure 2" in out and "Musl-libc" in out
+
+    def test_demo(self):
+        out = self._run("demo", "--scale", "0.05")
+        assert "ACCEPTED" in out
+
+    def test_fig3_scaled(self):
+        out = self._run("fig3", "--scale", "0.03")
+        assert "Figure 3" in out
+        assert "Nginx" in out and "429.mcf" in out
+
+    def test_bad_target(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "fig9"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode != 0

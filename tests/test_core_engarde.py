@@ -1,0 +1,100 @@
+"""The EnGarde orchestrator: pipeline outcomes and phase accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EnGarde, PolicyRegistry
+from repro.core.policy import PolicyContext, PolicyModule
+from repro.errors import PolicyError
+from repro.sgx import CycleMeter
+from tests.conftest import compile_demo
+
+
+class AlwaysPass(PolicyModule):
+    name = "always-pass"
+
+    def check(self, ctx):
+        return self.result()
+
+
+class AlwaysFail(PolicyModule):
+    name = "always-fail"
+
+    def check(self, ctx):
+        result = self.result()
+        result.add_violation("configured to fail")
+        return result
+
+
+class CountingPolicy(PolicyModule):
+    name = "counting"
+
+    def __init__(self):
+        self.calls = 0
+
+    def check(self, ctx):
+        self.calls += 1
+        return self.result()
+
+
+class TestInspect:
+    def test_accept_path(self, demo_plain):
+        engarde = EnGarde(PolicyRegistry([AlwaysPass()]))
+        outcome = engarde.inspect(demo_plain.elf, benchmark="demo")
+        assert outcome.accepted
+        assert outcome.report.policies_checked == ("always-pass",)
+        assert outcome.disassembly is not None
+        assert outcome.report.executable_pages
+
+    def test_reject_path(self, demo_plain):
+        engarde = EnGarde(PolicyRegistry([AlwaysPass(), AlwaysFail()]))
+        outcome = engarde.inspect(demo_plain.elf)
+        assert not outcome.accepted
+        assert outcome.report.policies_failed == ("always-fail",)
+        assert outcome.loaded is None
+
+    def test_structural_rejection_skips_policies(self):
+        counting = CountingPolicy()
+        engarde = EnGarde(PolicyRegistry([counting]))
+        outcome = engarde.inspect(b"garbage-not-elf" * 10)
+        assert not outcome.accepted
+        assert outcome.report.rejected_stage == "elf"
+        assert counting.calls == 0
+
+    def test_every_policy_runs_even_after_failure(self, demo_plain):
+        counting = CountingPolicy()
+        engarde = EnGarde(PolicyRegistry([AlwaysFail(), counting]))
+        engarde.inspect(demo_plain.elf)
+        assert counting.calls == 1
+
+    def test_phase_attribution(self, demo_plain):
+        engarde = EnGarde(PolicyRegistry([AlwaysPass()]))
+        engarde.inspect(demo_plain.elf)
+        meter = engarde.meter
+        assert meter.phase_cycles("disassembly") > 0
+        assert meter.phase_cycles("loading") == 0  # inspect() never loads
+        assert meter.phase_cycles("disassembly") <= meter.total_cycles
+
+
+class TestBootstrapIdentity:
+    def test_policy_set_changes_bootstrap(self):
+        a = EnGarde(PolicyRegistry([AlwaysPass()]))
+        b = EnGarde(PolicyRegistry([AlwaysPass(), AlwaysFail()]))
+        assert a.bootstrap_bytes() != b.bootstrap_bytes()
+
+    def test_bootstrap_order_independent(self):
+        a = EnGarde(PolicyRegistry([AlwaysPass(), AlwaysFail()]))
+        b = EnGarde(PolicyRegistry([AlwaysFail(), AlwaysPass()]))
+        assert a.bootstrap_bytes() == b.bootstrap_bytes()
+
+
+class TestRegistry:
+    def test_duplicate_rejected(self):
+        with pytest.raises(PolicyError):
+            PolicyRegistry([AlwaysPass(), AlwaysPass()])
+
+    def test_iteration_and_names(self):
+        registry = PolicyRegistry([AlwaysPass(), AlwaysFail()])
+        assert len(registry) == 2
+        assert registry.names() == ["always-pass", "always-fail"]

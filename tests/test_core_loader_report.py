@@ -1,0 +1,122 @@
+"""The in-enclave loader and the provider-facing compliance report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ComplianceReport, Loader
+from repro.elf import read_elf
+from repro.errors import RejectionError
+from repro.sgx import CycleMeter, HostOS, PAGE_SIZE, SgxMachine, SgxParams
+from repro.x86 import decode_all, validate
+
+
+@pytest.fixture()
+def runtime():
+    host = HostOS(SgxMachine(SgxParams(epc_pages=512, heap_initial_pages=4)))
+    rt = host.build_enclave(
+        base=0x10000, size=0x800000,
+        bootstrap_pages={0x10000: b"ENGARDE"},
+        client_pages=64,
+    )
+    host.machine.eenter(rt.enclave)
+    return rt
+
+
+class TestLoader:
+    def test_load_demo(self, runtime, demo_plain):
+        image = read_elf(demo_plain.elf)
+        loaded = Loader(CycleMeter()).load(
+            image, runtime.enclave, runtime.client_base, runtime.client_pages
+        )
+        assert loaded.load_bias == runtime.client_base - 0x1000
+        assert loaded.entry == loaded.load_bias + image.entry
+        assert loaded.relocations_applied == demo_plain.relocation_count
+        assert loaded.executable_pages
+        assert not set(loaded.executable_pages) & set(loaded.writable_pages)
+
+    def test_text_lands_in_enclave(self, runtime, demo_plain):
+        image = read_elf(demo_plain.elf)
+        loaded = Loader(CycleMeter()).load(
+            image, runtime.enclave, runtime.client_base, runtime.client_pages
+        )
+        text = image.text_sections[0]
+        in_enclave = runtime.enclave.read(
+            loaded.load_bias + text.vaddr, len(text.data)
+        )
+        assert in_enclave == text.data
+        insns = decode_all(in_enclave)
+        validate(insns, entry=image.entry - text.vaddr,
+                 roots=[s.value - text.vaddr for s in image.function_symbols()])
+
+    def test_relocations_rebased(self, runtime, demo_instrumented):
+        image = read_elf(demo_instrumented.elf)
+        loaded = Loader(CycleMeter()).load(
+            image, runtime.enclave, runtime.client_base, runtime.client_pages
+        )
+        assert image.relocations
+        for rela in image.relocations:
+            slot = loaded.load_bias + rela.r_offset
+            value = int.from_bytes(runtime.enclave.read(slot, 8), "little")
+            assert value == loaded.load_bias + rela.r_addend
+
+    def test_stack_is_mapped_and_zeroed(self, runtime, demo_plain):
+        image = read_elf(demo_plain.elf)
+        loaded = Loader(CycleMeter()).load(
+            image, runtime.enclave, runtime.client_base, runtime.client_pages
+        )
+        assert runtime.enclave.read(loaded.stack_top, 16) == b"\x00" * 16
+
+    def test_region_too_small(self, runtime, demo_plain):
+        image = read_elf(demo_plain.elf)
+        with pytest.raises(RejectionError, match="pages"):
+            Loader(CycleMeter()).load(image, runtime.enclave,
+                                      runtime.client_base, 4)
+
+    def test_cycle_charges(self, runtime, demo_plain):
+        meter = CycleMeter()
+        Loader(meter).load(
+            read_elf(demo_plain.elf), runtime.enclave,
+            runtime.client_base, runtime.client_pages,
+        )
+        events = meter.total.events
+        assert events["loader_setup"] == 1
+        assert events["segment_map"] == 2
+        assert events["reloc_apply"] == demo_plain.relocation_count
+        assert events["page_map"] > 0
+
+
+class TestComplianceReport:
+    def test_accepted_roundtrip(self):
+        report = ComplianceReport.accepted(
+            "nginx", ["library-linking"], [0x20000, 0x21000]
+        )
+        again = ComplianceReport.deserialize(report.serialize())
+        assert again == report
+
+    def test_rejected_roundtrip(self):
+        report = ComplianceReport.rejected(
+            "job", ["a", "b"], failed=["a"], stage=None
+        )
+        again = ComplianceReport.deserialize(report.serialize())
+        assert again == report
+        assert not again.compliant
+
+    def test_structural_rejection_roundtrip(self):
+        report = ComplianceReport.rejected("job", ["a"], stage="disasm")
+        again = ComplianceReport.deserialize(report.serialize())
+        assert again.rejected_stage == "disasm"
+
+    def test_invariants_enforced(self):
+        with pytest.raises(ValueError):
+            ComplianceReport("x", True, policies_failed=("p",))
+        with pytest.raises(ValueError):
+            ComplianceReport("x", False, executable_pages=(0x1000,))
+
+    def test_wire_format_is_content_free(self, demo_plain):
+        # The serialized report must never contain client code bytes.
+        report = ComplianceReport.accepted("demo", ["p"], [0x20000])
+        wire = report.serialize()
+        text = read_elf(demo_plain.elf).text_sections[0].data
+        assert text[:64] not in wire
+        assert len(wire) < 4096

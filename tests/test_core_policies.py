@@ -1,0 +1,261 @@
+"""The three paper policy modules, against compliant and violating binaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Disassembler,
+    IfccPolicy,
+    LibraryLinkingPolicy,
+    StackProtectionPolicy,
+)
+from repro.core.policies import JUMP_TABLE_PREFIX
+from repro.sgx import CycleMeter
+from repro.toolchain import Compiler, CompilerFlags, FunctionSpec, ProgramSpec, link
+from tests.conftest import compile_demo, make_demo_spec
+
+
+def context_for(binary):
+    meter = CycleMeter()
+    result = Disassembler(meter).run(binary.elf)
+    return result.policy_context(meter)
+
+
+class TestLibraryLinking:
+    def test_genuine_libc_passes(self, libc, demo_plain):
+        policy = LibraryLinkingPolicy(libc.reference_hashes())
+        result = policy.check(context_for(demo_plain))
+        assert result.compliant
+        assert result.stats["calls_checked"] > 0
+
+    def test_wrong_version_fails(self, libc, libc_old):
+        binary = link(Compiler().compile(make_demo_spec()), libc_old)
+        policy = LibraryLinkingPolicy(libc.reference_hashes())
+        result = policy.check(context_for(binary))
+        assert not result.compliant
+        assert any("musl" in v for v in result.violations)
+
+    def test_every_call_site_checked_without_memoization(self, libc, demo_plain):
+        policy = LibraryLinkingPolicy(libc.reference_hashes())
+        result = policy.check(context_for(demo_plain))
+        assert result.stats["hashes_computed"] == result.stats["calls_checked"]
+
+    @staticmethod
+    def _repeated_calls_binary(libc):
+        spec = ProgramSpec(
+            name="repeat",
+            functions=[FunctionSpec(
+                "main", n_blocks=3,
+                direct_calls=["memcpy", "memcpy", "memcpy", "printf", "printf"],
+            )],
+            libc_imports=["memcpy", "printf"],
+        )
+        return link(Compiler().compile(spec), libc)
+
+    def test_memoization_reduces_hashes(self, libc):
+        binary = self._repeated_calls_binary(libc)
+        policy = LibraryLinkingPolicy(libc.reference_hashes(), memoize=True)
+        result = policy.check(context_for(binary))
+        assert result.compliant
+        assert result.stats["calls_checked"] == 5
+        assert result.stats["hashes_computed"] == 2  # distinct callees only
+
+    def test_memoization_same_verdict_fewer_cycles(self, libc, libc_old):
+        spec = ProgramSpec(
+            name="repeat2",
+            functions=[FunctionSpec(
+                "main", n_blocks=3,
+                direct_calls=["memcpy", "memcpy", "printf", "printf"],
+            )],
+            libc_imports=["memcpy", "printf"],
+        )
+        binary = link(Compiler().compile(spec), libc_old)
+        plain_ctx = context_for(binary)
+        memo_ctx = context_for(binary)
+        plain = LibraryLinkingPolicy(libc.reference_hashes()).check(plain_ctx)
+        memo = LibraryLinkingPolicy(libc.reference_hashes(), memoize=True).check(memo_ctx)
+        assert plain.compliant == memo.compliant is False
+        assert memo_ctx.meter.total_cycles < plain_ctx.meter.total_cycles
+
+    def test_client_functions_not_in_db_are_skipped(self, libc, demo_plain):
+        policy = LibraryLinkingPolicy(libc.reference_hashes())
+        result = policy.check(context_for(demo_plain))
+        assert result.compliant  # helper/main calls don't fail the policy
+
+    def test_require_all_calls_known(self, libc, demo_plain):
+        policy = LibraryLinkingPolicy(
+            libc.reference_hashes(), require_all_calls_known=True
+        )
+        result = policy.check(context_for(demo_plain))
+        assert not result.compliant  # calls to client functions are "unknown"
+
+    def test_empty_db_rejected(self):
+        with pytest.raises(ValueError):
+            LibraryLinkingPolicy({})
+
+    def test_patched_libc_detected(self, libc):
+        # Flip one byte inside a retained libc function post-link: the
+        # hash comparison must catch it.
+        binary = link(Compiler().compile(make_demo_spec()), libc)
+        memcpy_vaddr = binary.symbols["memcpy"]
+        raw = bytearray(binary.elf)
+        # find the file offset of .text (vaddr 0x1000 -> offset 0x1000)
+        file_off = memcpy_vaddr  # text offset == vaddr for the first page
+        raw[file_off] ^= 0x01
+
+        class Patched:
+            elf = bytes(raw)
+
+        ctx = context_for(Patched)
+        result = LibraryLinkingPolicy(libc.reference_hashes()).check(ctx)
+        assert not result.compliant
+
+
+class TestStackProtection:
+    def policy(self, libc):
+        return StackProtectionPolicy(exempt_functions=set(libc.offsets))
+
+    def test_instrumented_passes(self, libc):
+        binary = compile_demo(libc, stack_protector=True)
+        result = self.policy(libc).check(context_for(binary))
+        assert result.compliant
+        assert result.stats["functions_checked"] == 3  # main, helper, callback
+
+    def test_uninstrumented_fails(self, libc, demo_plain):
+        result = self.policy(libc).check(context_for(demo_plain))
+        assert not result.compliant
+        assert len(result.violations) == 3
+
+    def test_partial_instrumentation_detected(self, libc):
+        # compile one binary instrumented, another plain, and link a
+        # program where only some functions came from the instrumented
+        # compiler -> must fail (this is -fstack-protector-all)
+        spec = ProgramSpec(
+            name="partial",
+            functions=[
+                FunctionSpec("main", n_blocks=2, direct_calls=["helper"]),
+                FunctionSpec("helper", n_blocks=2),
+            ],
+        )
+        plain_fn = Compiler(CompilerFlags()).compile(spec).functions
+        instr = Compiler(CompilerFlags(stack_protector=True)).compile(spec)
+        # swap helper for the uninstrumented version
+        instr.functions = [
+            f if f.name != "helper" else next(
+                g for g in plain_fn if g.name == "helper"
+            )
+            for f in instr.functions
+        ]
+        binary = link(instr, __import__("repro.toolchain", fromlist=["build_libc"]).build_libc())
+        result = self.policy(
+            __import__("repro.toolchain", fromlist=["build_libc"]).build_libc()
+        ).check(context_for(binary))
+        assert not result.compliant
+        assert any("helper" in v for v in result.violations)
+
+    def test_libc_functions_exempt(self, libc):
+        binary = compile_demo(libc, stack_protector=True)
+        result = self.policy(libc).check(context_for(binary))
+        assert result.compliant  # libc has no canaries but is exempt
+
+    def test_without_exemption_libc_fails(self, libc):
+        binary = compile_demo(libc, stack_protector=True)
+        result = StackProtectionPolicy().check(context_for(binary))
+        assert not result.compliant
+
+    def test_cost_superlinear_in_function_size(self, libc):
+        """One 4x-bigger function must cost >4x the compare charges —
+        the mechanism behind Figure 4's bzip2 anomaly."""
+
+        def cost(blocks):
+            spec = ProgramSpec(
+                name=f"sz{blocks}",
+                functions=[FunctionSpec("main", n_blocks=blocks,
+                                        ops_per_block=(20, 20))],
+            )
+            binary = link(
+                Compiler(CompilerFlags(stack_protector=True)).compile(spec), libc
+            )
+            ctx = context_for(binary)
+            self.policy(libc).check(ctx)
+            return ctx.meter.total.events.get("policy_compare", 0)
+
+        small, big = cost(5), cost(20)
+        assert big > 4 * small
+
+
+class TestIfcc:
+    def test_instrumented_passes(self, libc):
+        binary = compile_demo(libc, ifcc=True)
+        result = IfccPolicy().check(context_for(binary))
+        assert result.compliant
+        assert result.stats["indirect_calls"] == 1
+
+    def test_unprotected_icall_fails(self, libc, demo_plain):
+        result = IfccPolicy().check(context_for(demo_plain))
+        assert not result.compliant
+        assert any("jump table" in v or "IFCC" in v for v in result.violations)
+
+    def test_no_indirect_calls_passes_vacuously(self, libc):
+        spec = ProgramSpec(name="noicall", functions=[FunctionSpec("main")])
+        binary = link(Compiler().compile(spec), libc)
+        result = IfccPolicy().check(context_for(binary))
+        assert result.compliant
+        assert result.stats["indirect_calls"] == 0
+
+    def test_wrong_mask_detected(self, libc):
+        binary = compile_demo(libc, ifcc=True)
+        raw = bytearray(binary.elf)
+        # find the and-imm in the icall window and corrupt the mask
+        from repro.elf import read_elf
+        from repro.x86 import Imm, Reg, decode_all
+
+        img = read_elf(bytes(raw))
+        text = img.text_sections[0]
+        insns = decode_all(text.data)
+        for i, insn in enumerate(insns):
+            if insn.is_indirect_call:
+                window = insns[max(0, i - 6):i]
+                for w in window:
+                    if w.mnemonic == "and" and isinstance(w.operands[0], Imm):
+                        # patch the immediate byte(s) in the file
+                        file_off = text.offset + w.offset + w.length - w.num_immediate_bytes
+                        raw[file_off] ^= 0x04
+        patched = type("B", (), {"elf": bytes(raw)})
+        result = IfccPolicy().check(context_for(patched))
+        assert not result.compliant
+
+    def test_call_target_outside_table_detected(self, libc):
+        # redirect the fnptr slot to a raw function instead of its table
+        # entry: the *static* check still passes (it verifies the code
+        # sequence, not the data), demonstrating exactly what IFCC's
+        # masking protects at runtime.  But a *missing* lea is caught:
+        binary = compile_demo(libc, ifcc=True)
+        raw = bytearray(binary.elf)
+        from repro.elf import read_elf
+        from repro.x86 import decode_all
+
+        img = read_elf(bytes(raw))
+        text = img.text_sections[0]
+        insns = decode_all(text.data)
+        for i, insn in enumerate(insns):
+            if insn.is_indirect_call:
+                for w in insns[max(0, i - 6):i]:
+                    if w.mnemonic == "lea":
+                        # turn the lea into (valid) nops of the same length
+                        from repro.x86 import Enc
+
+                        file_off = text.offset + w.offset
+                        raw[file_off:file_off + w.length] = Enc.nop(w.length)
+        patched = type("B", (), {"elf": bytes(raw)})
+        result = IfccPolicy().check(context_for(patched))
+        assert not result.compliant
+
+    def test_stats_count_sites(self, libc):
+        spec = make_demo_spec("many-icalls")
+        spec.function("main").indirect_calls = 3
+        binary = link(Compiler(CompilerFlags(ifcc=True)).compile(spec), libc)
+        result = IfccPolicy().check(context_for(binary))
+        assert result.compliant
+        assert result.stats["indirect_calls"] == 3

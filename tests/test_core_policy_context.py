@@ -1,0 +1,125 @@
+"""SymbolHashTable and PolicyContext plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Disassembler, PolicyRegistry, SymbolHashTable
+from repro.core.policy import MAX_VIOLATIONS, PolicyResult
+from repro.errors import PolicyError
+from repro.sgx import CycleMeter
+
+
+class TestSymbolHashTable:
+    def test_insert_lookup(self):
+        table = SymbolHashTable(CycleMeter())
+        table.insert(0x100, "foo")
+        assert table.lookup(0x100) == "foo"
+        assert table.lookup(0x101) is None
+        assert 0x100 in table and 0x200 not in table
+        assert len(table) == 1
+
+    def test_is_function_start(self):
+        table = SymbolHashTable(CycleMeter())
+        table.insert(0, "a")
+        assert table.is_function_start(0)
+        assert not table.is_function_start(1)
+
+    def test_next_function_start(self):
+        table = SymbolHashTable(CycleMeter())
+        for addr in (0x300, 0x100, 0x200):
+            table.insert(addr, f"f{addr:x}")
+        assert table.next_function_start(0x100) == 0x200
+        assert table.next_function_start(0x150) == 0x200
+        assert table.next_function_start(0x300) is None
+
+    def test_next_function_start_after_late_insert(self):
+        table = SymbolHashTable(CycleMeter())
+        table.insert(0x100, "a")
+        assert table.next_function_start(0) == 0x100
+        table.insert(0x50, "b")  # must invalidate the sorted cache
+        assert table.next_function_start(0) == 0x50
+
+    def test_lookups_are_charged(self):
+        meter = CycleMeter()
+        table = SymbolHashTable(meter)
+        table.insert(0, "f")
+        before = meter.total_cycles
+        table.lookup(0)
+        table.is_function_start(0)
+        assert meter.total_cycles == before + 2 * meter.cost.symtab_lookup
+
+
+class TestPolicyContext:
+    @pytest.fixture()
+    def ctx(self, demo_plain):
+        meter = CycleMeter()
+        return Disassembler(meter).run(demo_plain.elf).policy_context(meter)
+
+    def test_at(self, ctx):
+        first = ctx.instructions[0]
+        assert ctx.at(first.offset) is first
+        assert ctx.at(first.offset + 1) is None or first.length == 1
+
+    def test_function_extent_covers_whole_text(self, ctx):
+        starts = sorted(addr for addr, _name in ctx.symtab.items())
+        covered = 0
+        for start in starts:
+            first, last = ctx.function_extent(start)
+            covered += last - first
+        assert covered == len(ctx.instructions) - starts_to_first(ctx, starts)
+
+    def test_function_extent_bad_start(self, ctx):
+        with pytest.raises(PolicyError):
+            ctx.function_extent(0x999999)
+
+    def test_function_starts_sorted(self, ctx):
+        starts = ctx.function_starts()
+        assert starts == sorted(starts)
+        names = {name for _a, name in starts}
+        assert "_start" in names and "main" in names
+
+
+def starts_to_first(ctx, starts):
+    """Instructions before the first symbol (e.g. none in our layout)."""
+    first_idx = ctx.index_by_offset[starts[0]]
+    return first_idx
+
+
+class TestPolicyResult:
+    def test_violation_cap(self):
+        result = PolicyResult(policy="p", compliant=True)
+        for i in range(MAX_VIOLATIONS + 20):
+            result.add_violation(f"v{i}")
+        assert not result.compliant
+        assert len(result.violations) == MAX_VIOLATIONS
+
+    def test_registry_digest_material_sorted(self):
+        from repro.core.policy import PolicyModule
+
+        class P1(PolicyModule):
+            name = "b-policy"
+
+            def check(self, ctx):
+                raise NotImplementedError
+
+        class P2(PolicyModule):
+            name = "a-policy"
+
+            def check(self, ctx):
+                raise NotImplementedError
+
+        a = PolicyRegistry()
+        a.register(P1())
+        a.register(P2())
+        b = PolicyRegistry()
+        b.register(P2())
+        b.register(P1())
+        assert a.digest_material() == b.digest_material()
+
+    def test_registry_digest_covers_config(self):
+        from repro.core import IfccPolicy
+
+        a = PolicyRegistry([IfccPolicy(backward_window=12)])
+        b = PolicyRegistry([IfccPolicy(backward_window=13)])
+        assert a.digest_material() != b.digest_material()

@@ -1,0 +1,258 @@
+"""End-to-end provisioning: the full mutual-trust protocol and its
+adversarial cases (the paper's threat model, section 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    EnclaveClient,
+    IfccPolicy,
+    LibraryLinkingPolicy,
+    PolicyRegistry,
+    StackProtectionPolicy,
+    expected_mrenclave,
+    provision,
+)
+from repro.errors import AttestationError, EnclaveSealedError, SgxError
+from repro.net import SocketPair
+from tests.conftest import compile_demo, small_provider
+
+
+class TestHappyPath:
+    def test_compliant_client_accepted(self, libc, all_policies, demo_instrumented):
+        provider = small_provider(all_policies)
+        client = EnclaveClient(demo_instrumented.elf, policies=all_policies)
+        result = provision(provider, client)
+        assert result.accepted
+        assert result.report.compliant
+        assert result.client_verdict == result.report
+        assert result.runtime is not None and result.runtime.enclave.sealed
+
+    def test_all_phases_charged(self, all_policies, demo_instrumented):
+        provider = small_provider(all_policies)
+        client = EnclaveClient(demo_instrumented.elf, policies=all_policies)
+        result = provision(provider, client)
+        for phase in ("disassembly", "policy", "loading"):
+            assert result.meter.phase_cycles(phase) > 0, phase
+
+    def test_code_loaded_and_executable(self, all_policies, demo_instrumented):
+        provider = small_provider(all_policies)
+        client = EnclaveClient(demo_instrumented.elf, policies=all_policies)
+        result = provision(provider, client)
+        loaded = result.outcome.loaded
+        enclave = result.runtime.enclave
+        assert enclave.fetch_code(loaded.entry, 1)  # entry is executable
+        with pytest.raises(SgxError):
+            enclave.write(loaded.executable_pages[0], b"post-hoc patch")
+
+    def test_deterministic_outcome(self, all_policies, demo_instrumented):
+        def run():
+            provider = small_provider(all_policies)
+            client = EnclaveClient(demo_instrumented.elf, policies=all_policies)
+            result = provision(provider, client)
+            return (result.accepted, result.meter.total_cycles)
+
+        assert run() == run()
+
+
+class TestRejection:
+    def test_noncompliant_client_rejected_and_torn_down(self, libc, all_policies,
+                                                        demo_plain):
+        provider = small_provider(all_policies)
+        client = EnclaveClient(demo_plain.elf, policies=all_policies)
+        result = provision(provider, client)
+        assert not result.accepted
+        assert result.runtime is None
+        assert set(result.report.policies_failed) == {
+            "stack-protection", "indirect-function-call",
+        }
+        assert result.report.executable_pages == ()
+        # the enclave was destroyed: its EPC pages are back in the pool
+        assert provider.machine.epc.used_pages == 0
+
+    def test_garbage_content_rejected_at_elf_stage(self, all_policies):
+        provider = small_provider(all_policies)
+        client = EnclaveClient(b"\x00" * 5000, policies=all_policies)
+        result = provision(provider, client)
+        assert not result.accepted
+        assert result.report.rejected_stage == "elf"
+
+    def test_client_learns_the_verdict_authentically(self, all_policies, demo_plain):
+        provider = small_provider(all_policies)
+        client = EnclaveClient(demo_plain.elf, policies=all_policies)
+        result = provision(provider, client)
+        # verdict arrived over the authenticated channel
+        assert client.verdict is not None
+        assert client.verdict.compliant == result.report.compliant
+
+
+class TestAttestationBinding:
+    def test_wrong_policy_set_fails_attestation(self, libc, all_policies,
+                                                demo_instrumented):
+        # The provider loads a *different* policy set than agreed: the
+        # measurement no longer matches what the client expects.
+        provider_policies = PolicyRegistry([IfccPolicy()])
+        provider = small_provider(provider_policies)
+        client = EnclaveClient(demo_instrumented.elf, policies=all_policies)
+        with pytest.raises(AttestationError, match="MRENCLAVE"):
+            provision(provider, client)
+
+    def test_expected_mrenclave_matches_real_build(self, all_policies,
+                                                   demo_instrumented):
+        provider = small_provider(all_policies)
+        pair = SocketPair()
+        session = provider.start_session(pair.right)
+        expected = expected_mrenclave(
+            all_policies,
+            heap_pages=provider.heap_pages,
+            client_pages=provider.client_pages,
+            enclave_pages=provider.enclave_pages,
+        )
+        assert session.runtime.enclave.mrenclave == expected
+
+    def test_channel_key_bound_to_quote(self, all_policies):
+        provider = small_provider(all_policies)
+        pair = SocketPair()
+        session = provider.start_session(pair.right)
+        quote = provider.attest(session, challenge=b"c")
+        fingerprint = session.handshake._keypair.public_key.fingerprint()
+        assert quote.report_data[:32] == fingerprint
+
+    def test_replayed_quote_rejected(self, all_policies, demo_instrumented):
+        provider = small_provider(all_policies)
+        pair = SocketPair()
+        session = provider.start_session(pair.right)
+        old_quote = provider.attest(session, challenge=b"old-challenge")
+        client = EnclaveClient(demo_instrumented.elf, policies=all_policies)
+        fresh = client.challenge()
+        with pytest.raises(AttestationError, match="challenge"):
+            client.verify_attestation(
+                old_quote, provider.quoting_enclave.device_public_key, fresh,
+                heap_pages=provider.heap_pages,
+                client_pages=provider.client_pages,
+                enclave_pages=provider.enclave_pages,
+            )
+
+
+class TestConfidentiality:
+    def test_provider_never_sees_plaintext(self, all_policies, demo_instrumented):
+        """The core claim: the provider observes only ciphertext on the
+        wire and in the EPC, yet still gets a verdict."""
+        provider = small_provider(all_policies)
+        client = EnclaveClient(demo_instrumented.elf, policies=all_policies)
+
+        pair = SocketPair()
+        session = provider.start_session(pair.right, benchmark=client.benchmark)
+        challenge = client.challenge()
+        quote = provider.attest(session, challenge)
+        fingerprint = client.verify_attestation(
+            quote, provider.quoting_enclave.device_public_key, challenge,
+            heap_pages=provider.heap_pages, client_pages=provider.client_pages,
+            enclave_pages=provider.enclave_pages,
+        )
+        client.open_channel(pair.left, fingerprint)
+
+        # capture everything that crosses the wire
+        wire = []
+        original = pair.left.send
+
+        def spy(message):
+            wire.append(message)
+            original(message)
+
+        pair.left.send = spy
+        client.send_content()
+        report = provider.run_engarde(session)
+        assert report.compliant
+
+        text = demo_instrumented.elf
+        joined = b"".join(wire)
+        for probe_at in (0, 0x1000, len(text) // 2):
+            assert text[probe_at:probe_at + 48] not in joined
+
+        # and the EPC view is ciphertext
+        base = session.runtime.client_base
+        observed = provider.host.peek_enclave_memory(session.runtime, base + 0x1000)
+        assert text[0x1000:0x1040] not in observed
+
+    def test_report_reveals_only_pages_and_verdict(self, all_policies,
+                                                   demo_instrumented):
+        provider = small_provider(all_policies)
+        client = EnclaveClient(demo_instrumented.elf, policies=all_policies)
+        result = provision(provider, client)
+        wire = result.report.serialize()
+        assert demo_instrumented.elf[0x1000:0x1030] not in wire
+        # pages are page-aligned addresses inside the client region
+        for page in result.report.executable_pages:
+            assert page % 4096 == 0
+
+    def test_sealed_after_acceptance(self, all_policies, demo_instrumented):
+        provider = small_provider(all_policies)
+        client = EnclaveClient(demo_instrumented.elf, policies=all_policies)
+        result = provision(provider, client)
+        with pytest.raises(EnclaveSealedError):
+            provider.machine.eaug(
+                result.runtime.enclave,
+                result.runtime.client_base + result.runtime.client_pages * 4096,
+            )
+
+
+class TestMultiplePolicies:
+    def test_single_policy_subsets(self, libc, demo_plain):
+        # Plain binary passes library-linking alone, fails the others.
+        lib_only = PolicyRegistry([LibraryLinkingPolicy(libc.reference_hashes())])
+        provider = small_provider(lib_only)
+        client = EnclaveClient(demo_plain.elf, policies=lib_only)
+        assert provision(provider, client).accepted
+
+        sp_only = PolicyRegistry(
+            [StackProtectionPolicy(exempt_functions=set(libc.offsets))]
+        )
+        provider = small_provider(sp_only)
+        client = EnclaveClient(demo_plain.elf, policies=sp_only)
+        assert not provision(provider, client).accepted
+
+    def test_failed_policies_enumerated(self, libc, all_policies):
+        binary = compile_demo(libc, stack_protector=True, ifcc=False)
+        provider = small_provider(all_policies)
+        client = EnclaveClient(binary.elf, policies=all_policies)
+        result = provision(provider, client)
+        assert result.report.policies_failed == ("indirect-function-call",)
+
+
+class TestPolicyConfigBinding:
+    def test_different_hash_db_fails_attestation(self, libc, libc_old,
+                                                 demo_instrumented):
+        """A provider loading the same-named policy with a *different*
+        golden database must produce a different MRENCLAVE."""
+        from repro.core import LibraryLinkingPolicy, PolicyRegistry
+        from repro.errors import AttestationError
+
+        agreed = PolicyRegistry([LibraryLinkingPolicy(libc.reference_hashes())])
+        doctored = PolicyRegistry(
+            [LibraryLinkingPolicy(libc_old.reference_hashes())]
+        )
+        provider = small_provider(doctored)
+        client = EnclaveClient(demo_instrumented.elf, policies=agreed)
+        with pytest.raises(AttestationError, match="MRENCLAVE"):
+            provision(provider, client)
+
+    def test_different_exemptions_fail_attestation(self, libc, all_policies,
+                                                   demo_instrumented):
+        from repro.core import (IfccPolicy, LibraryLinkingPolicy,
+                                PolicyRegistry, StackProtectionPolicy)
+        from repro.errors import AttestationError
+
+        weaker = PolicyRegistry([
+            LibraryLinkingPolicy(libc.reference_hashes()),
+            # exempting every function guts the policy
+            StackProtectionPolicy(
+                exempt_functions=set(libc.offsets) | {"main", "helper", "callback"}
+            ),
+            IfccPolicy(),
+        ])
+        provider = small_provider(weaker)
+        client = EnclaveClient(demo_instrumented.elf, policies=all_policies)
+        with pytest.raises(AttestationError, match="MRENCLAVE"):
+            provision(provider, client)

@@ -1,0 +1,141 @@
+"""AES: FIPS-197 vectors, mode roundtrips, padding edge cases."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    Aes,
+    aes_cbc_decrypt,
+    aes_cbc_encrypt,
+    aes_ctr,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+from repro.errors import CryptoError
+
+# FIPS-197 appendix C known-answer vectors.
+PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+VECTORS = [
+    (bytes(range(16)), "69c4e0d86a7b0430d8cdb78070b4c55a"),
+    (bytes(range(24)), "dda97ca4864cdfe06eaf70a0ec0d7191"),
+    (bytes(range(32)), "8ea2b7ca516745bfeafc49904b496089"),
+]
+
+
+@pytest.mark.parametrize("key,expected", VECTORS, ids=["aes128", "aes192", "aes256"])
+def test_fips197_encrypt(key, expected):
+    assert Aes(key).encrypt_block(PLAINTEXT).hex() == expected
+
+
+@pytest.mark.parametrize("key,expected", VECTORS, ids=["aes128", "aes192", "aes256"])
+def test_fips197_decrypt(key, expected):
+    assert Aes(key).decrypt_block(bytes.fromhex(expected)) == PLAINTEXT
+
+
+def test_bad_key_sizes():
+    for n in (0, 15, 17, 31, 33):
+        with pytest.raises(CryptoError):
+            Aes(b"\x00" * n)
+
+
+def test_bad_block_sizes():
+    cipher = Aes(bytes(16))
+    with pytest.raises(CryptoError):
+        cipher.encrypt_block(b"short")
+    with pytest.raises(CryptoError):
+        cipher.decrypt_block(b"x" * 17)
+
+
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=32, max_size=32))
+@settings(max_examples=50, deadline=None)
+def test_block_roundtrip(block, key):
+    cipher = Aes(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+class TestPkcs7:
+    def test_pad_lengths(self):
+        for n in range(0, 33):
+            padded = pkcs7_pad(b"x" * n)
+            assert len(padded) % 16 == 0
+            assert len(padded) > n  # always at least one pad byte
+            assert pkcs7_unpad(padded) == b"x" * n
+
+    def test_unpad_rejects_bad(self):
+        with pytest.raises(CryptoError):
+            pkcs7_unpad(b"")
+        with pytest.raises(CryptoError):
+            pkcs7_unpad(b"x" * 15)
+        with pytest.raises(CryptoError):
+            pkcs7_unpad(b"x" * 15 + b"\x00")   # pad byte 0
+        with pytest.raises(CryptoError):
+            pkcs7_unpad(b"x" * 15 + b"\x11")   # pad byte 17
+        with pytest.raises(CryptoError):
+            pkcs7_unpad(b"x" * 14 + b"\x01\x02")  # inconsistent run
+
+
+class TestCbc:
+    KEY = bytes(range(32))
+    IV = b"\xab" * 16
+
+    @given(st.binary(max_size=600))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, msg):
+        ct = aes_cbc_encrypt(self.KEY, self.IV, msg)
+        assert aes_cbc_decrypt(self.KEY, self.IV, ct) == msg
+
+    def test_iv_matters(self):
+        a = aes_cbc_encrypt(self.KEY, b"\x00" * 16, b"message")
+        b = aes_cbc_encrypt(self.KEY, b"\x01" * 16, b"message")
+        assert a != b
+
+    def test_bad_iv(self):
+        with pytest.raises(CryptoError):
+            aes_cbc_encrypt(self.KEY, b"short", b"msg")
+
+    def test_corrupt_ciphertext_detected_by_padding(self):
+        ct = bytearray(aes_cbc_encrypt(self.KEY, self.IV, b"hello"))
+        ct[-1] ^= 0xFF
+        with pytest.raises(CryptoError):
+            aes_cbc_decrypt(self.KEY, self.IV, bytes(ct))
+
+    def test_empty_ciphertext(self):
+        with pytest.raises(CryptoError):
+            aes_cbc_decrypt(self.KEY, self.IV, b"")
+
+
+class TestCtr:
+    KEY = bytes(range(32))
+    NONCE = b"\x01" * 8
+
+    @given(st.binary(max_size=600))
+    @settings(max_examples=40, deadline=None)
+    def test_symmetric(self, msg):
+        ct = aes_ctr(self.KEY, self.NONCE, msg)
+        assert aes_ctr(self.KEY, self.NONCE, ct) == msg
+
+    def test_keystream_is_counter_based(self):
+        # Encrypting the second block alone with counter 1 must match the
+        # tail of a two-block encryption (seekability).
+        msg = b"A" * 32
+        whole = aes_ctr(self.KEY, self.NONCE, msg)
+        tail = aes_ctr(self.KEY, self.NONCE, msg[16:], initial_counter=1)
+        assert whole[16:] == tail
+
+    def test_nonce_size(self):
+        with pytest.raises(CryptoError):
+            aes_ctr(self.KEY, b"\x01" * 7, b"data")
+
+    def test_non_block_lengths(self):
+        for n in (1, 15, 17, 33):
+            msg = bytes(range(n % 256)) * 1 + b"z" * max(0, n - n % 256)
+            msg = msg[:n]
+            ct = aes_ctr(self.KEY, self.NONCE, msg)
+            assert len(ct) == n
+            assert aes_ctr(self.KEY, self.NONCE, ct) == msg
+
+    def test_empty(self):
+        assert aes_ctr(self.KEY, self.NONCE, b"") == b""

@@ -1,0 +1,128 @@
+"""HMAC-SHA256 (RFC 4231 vectors) and the HMAC-DRBG."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as std_hmac
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import HmacDrbg, hmac_sha256
+
+# RFC 4231 test cases 1, 2, 3, 6 (the SHA-256 rows).
+RFC4231 = [
+    (
+        b"\x0b" * 20,
+        b"Hi There",
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+    ),
+    (
+        b"Jefe",
+        b"what do ya want for nothing?",
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+    ),
+    (
+        b"\xaa" * 20,
+        b"\xdd" * 50,
+        "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe",
+    ),
+    (
+        b"\xaa" * 131,  # key longer than the block size
+        b"Test Using Larger Than Block-Size Key - Hash Key First",
+        "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",
+    ),
+]
+
+
+@pytest.mark.parametrize("key,msg,expected", RFC4231, ids=["tc1", "tc2", "tc3", "tc6"])
+def test_rfc4231(key, msg, expected):
+    assert hmac_sha256(key, msg).hex() == expected
+
+
+@given(st.binary(max_size=200), st.binary(max_size=500))
+@settings(max_examples=150, deadline=None)
+def test_matches_stdlib_hmac(key, msg):
+    expected = std_hmac.new(key, msg, hashlib.sha256).digest()
+    assert hmac_sha256(key, msg) == expected
+
+
+class TestHmacDrbg:
+    def test_deterministic(self):
+        assert HmacDrbg(b"seed").generate(64) == HmacDrbg(b"seed").generate(64)
+
+    def test_different_seeds_diverge(self):
+        assert HmacDrbg(b"a").generate(32) != HmacDrbg(b"b").generate(32)
+
+    def test_personalization_diverges(self):
+        a = HmacDrbg(b"s", personalization=b"x").generate(32)
+        b = HmacDrbg(b"s", personalization=b"y").generate(32)
+        assert a != b
+
+    def test_sequential_outputs_differ(self):
+        drbg = HmacDrbg(b"seed")
+        assert drbg.generate(32) != drbg.generate(32)
+
+    def test_generate_zero_and_negative(self):
+        drbg = HmacDrbg(b"seed")
+        assert drbg.generate(0) == b""
+        with pytest.raises(ValueError):
+            drbg.generate(-1)
+
+    def test_reseed_changes_stream(self):
+        a = HmacDrbg(b"seed")
+        b = HmacDrbg(b"seed")
+        a.generate(16)
+        b.generate(16)
+        a.reseed(b"fresh entropy")
+        assert a.generate(16) != b.generate(16)
+
+    @given(st.integers(0, 1000), st.integers(0, 1000))
+    @settings(max_examples=100, deadline=None)
+    def test_randint_in_range(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        value = HmacDrbg(b"seed").randint(lo, hi)
+        assert lo <= value <= hi
+
+    def test_randint_empty_range(self):
+        with pytest.raises(ValueError):
+            HmacDrbg(b"s").randint(5, 4)
+
+    def test_randint_covers_range(self):
+        drbg = HmacDrbg(b"coverage")
+        seen = {drbg.randint(0, 3) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_randbits_width(self):
+        drbg = HmacDrbg(b"seed")
+        for k in (1, 7, 8, 9, 64, 257):
+            assert 0 <= drbg.randbits(k) < (1 << k)
+        with pytest.raises(ValueError):
+            drbg.randbits(0)
+
+    def test_choice_and_empty(self):
+        drbg = HmacDrbg(b"seed")
+        assert drbg.choice([42]) == 42
+        assert drbg.choice("abc") in "abc"
+        with pytest.raises(ValueError):
+            drbg.choice([])
+
+    def test_shuffle_is_permutation(self):
+        drbg = HmacDrbg(b"seed")
+        items = list(range(50))
+        shuffled = list(items)
+        drbg.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # astronomically unlikely to collide
+
+    def test_fork_independence(self):
+        parent = HmacDrbg(b"seed")
+        a = parent.fork(b"left")
+        b = parent.fork(b"right")
+        assert a.generate(32) != b.generate(32)
+
+    def test_fork_deterministic(self):
+        a = HmacDrbg(b"seed").fork(b"x").generate(16)
+        b = HmacDrbg(b"seed").fork(b"x").generate(16)
+        assert a == b

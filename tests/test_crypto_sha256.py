@@ -1,0 +1,90 @@
+"""SHA-256: NIST vectors, hashlib equivalence, incremental interface."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import SHA256, sha256, sha256_fast
+
+# FIPS 180-4 / NIST CAVP known-answer vectors.
+KAT = [
+    (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+    (b"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+    (
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+    ),
+    (
+        b"a" * 1_000_000,
+        "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0",
+    ),
+]
+
+
+@pytest.mark.parametrize("message,expected", KAT, ids=["empty", "abc", "448bit", "1M-a"])
+def test_known_answer_vectors(message, expected):
+    assert sha256(message).hex() == expected
+
+
+@pytest.mark.parametrize("message,expected", KAT[:3], ids=["empty", "abc", "448bit"])
+def test_fast_path_matches(message, expected):
+    assert sha256_fast(message).hex() == expected
+
+
+def test_incremental_equals_oneshot():
+    h = SHA256()
+    for chunk in (b"hello ", b"", b"wor", b"ld", b"!" * 200):
+        h.update(chunk)
+    assert h.digest() == sha256(b"hello world" + b"!" * 200)
+
+
+def test_digest_is_idempotent():
+    h = SHA256(b"data")
+    first = h.digest()
+    assert h.digest() == first
+    h.update(b"more")
+    assert h.digest() != first
+
+
+def test_copy_isolates_state():
+    h = SHA256(b"shared prefix")
+    clone = h.copy()
+    h.update(b"left")
+    clone.update(b"right")
+    assert h.digest() != clone.digest()
+    assert h.digest() == sha256(b"shared prefixleft")
+
+
+def test_update_rejects_str():
+    with pytest.raises(TypeError):
+        SHA256().update("not bytes")  # type: ignore[arg-type]
+
+
+def test_hexdigest():
+    assert SHA256(b"abc").hexdigest() == KAT[1][1]
+
+
+@given(st.binary(max_size=2048))
+@settings(max_examples=200, deadline=None)
+def test_matches_hashlib(data):
+    assert sha256(data) == hashlib.sha256(data).digest()
+
+
+@given(st.lists(st.binary(max_size=300), max_size=12))
+@settings(max_examples=100, deadline=None)
+def test_chunking_invariance(chunks):
+    h = SHA256()
+    for chunk in chunks:
+        h.update(chunk)
+    assert h.digest() == hashlib.sha256(b"".join(chunks)).digest()
+
+
+def test_block_boundary_lengths():
+    # lengths straddling the 64-byte block and 55/56-byte padding edges
+    for n in (54, 55, 56, 57, 63, 64, 65, 119, 127, 128, 129):
+        data = bytes(range(256))[:n] * 1
+        assert sha256(data) == hashlib.sha256(data).digest(), n

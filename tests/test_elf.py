@@ -1,0 +1,190 @@
+"""ELF structs, writer/reader round-trip, and EnGarde's format checks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.elf import (
+    Dyn, Ehdr, ElfSymbol, Layout, Phdr, Rela, Shdr, Sym,
+    read_elf, write_elf,
+)
+from repro.elf.constants import (
+    ET_DYN, PAGE_SIZE, PT_DYNAMIC, PT_LOAD, R_X86_64_RELATIVE, TEXT_VADDR,
+)
+from repro.errors import ElfError
+from repro.x86 import Assembler, RAX
+
+
+def build_image(
+    *, text=None, data=b"\x00" * 16, bss=32, relocs=0, symbols=None, entry=None
+):
+    if text is None:
+        asm = Assembler()
+        asm.mov_imm(42, RAX)
+        asm.ret()
+        text = asm.finish()
+    layout = Layout.compute(len(text), relocs, len(data), bss)
+    relocations = [
+        (layout.data_vaddr + 8 * i, layout.text_vaddr) for i in range(relocs)
+    ]
+    if symbols is None:
+        symbols = [ElfSymbol("_start", layout.text_vaddr, len(text), "func", "text")]
+    return write_elf(
+        text=text, data=data, bss_size=bss, symbols=symbols,
+        relocations=relocations,
+        entry_vaddr=entry if entry is not None else layout.text_vaddr,
+        layout=layout,
+    )
+
+
+class TestStructs:
+    def test_struct_sizes_match_abi(self):
+        assert Ehdr.SIZE == 64
+        assert Phdr.SIZE == 56
+        assert Shdr.SIZE == 64
+        assert Sym.SIZE == 24
+        assert Rela.SIZE == 24
+        assert Dyn.SIZE == 16
+
+    def test_sym_info_packing(self):
+        info = Sym.info(1, 2)
+        sym = Sym(0, info, 0, 0, 0, 0)
+        assert sym.binding == 1 and sym.type == 2
+
+    def test_rela_info_packing(self):
+        info = Rela.info(5, R_X86_64_RELATIVE)
+        rela = Rela(0x1000, info, 0x2000)
+        assert rela.sym == 5 and rela.type == R_X86_64_RELATIVE
+
+    @given(st.integers(0, 2**16), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_rela_roundtrip(self, sym, rel_type):
+        rela = Rela(123, Rela.info(sym, rel_type), -77)
+        again = Rela.unpack(rela.pack())
+        assert again == rela
+
+
+class TestLayout:
+    def test_text_at_convention(self):
+        layout = Layout.compute(100, 2, 64, 128)
+        assert layout.text_vaddr == TEXT_VADDR
+        assert layout.rela_vaddr % PAGE_SIZE == 0
+        assert layout.rela_vaddr >= layout.text_vaddr + 100
+
+    def test_segments_do_not_overlap(self):
+        layout = Layout.compute(5000, 10, 300, 1000)
+        assert layout.dynamic_vaddr >= layout.rela_vaddr + layout.rela_size
+        assert layout.data_vaddr >= layout.dynamic_vaddr + layout.dynamic_size
+        assert layout.bss_vaddr >= layout.data_vaddr + layout.data_size
+
+    def test_memsz_covers_bss(self):
+        layout = Layout.compute(100, 0, 16, 999)
+        assert layout.data_segment_memsz - layout.data_segment_filesz >= 999 - 16
+
+
+class TestRoundTrip:
+    def test_basic(self):
+        img = read_elf(build_image())
+        assert img.ehdr.e_type == ET_DYN
+        assert len(img.text_sections) == 1
+        assert img.entry == TEXT_VADDR
+        assert [s.name for s in img.sections][1:] == [
+            ".text", ".rela.dyn", ".dynamic", ".data", ".bss",
+            ".symtab", ".strtab", ".shstrtab",
+        ]
+
+    def test_text_bytes_preserved(self):
+        asm = Assembler()
+        asm.mov_imm(0xDEAD, RAX)
+        asm.ret()
+        text = asm.finish()
+        img = read_elf(build_image(text=text))
+        assert img.text_sections[0].data == text
+
+    def test_symbols_roundtrip(self):
+        blob = build_image(symbols=[
+            ElfSymbol("_start", TEXT_VADDR, 8, "func", "text"),
+            ElfSymbol("obj", 0x2080, 16, "object", "data"),
+            ElfSymbol("local_helper", TEXT_VADDR + 4, 4, "func", "text", "local"),
+        ])
+        img = read_elf(blob)
+        names = {s.name for s in img.symbols}
+        assert names == {"_start", "obj", "local_helper"}
+        start = next(s for s in img.symbols if s.name == "_start")
+        assert start.is_function and start.value == TEXT_VADDR
+
+    def test_relocations_via_dynamic(self):
+        img = read_elf(build_image(relocs=3))
+        assert len(img.relocations) == 3
+        assert all(r.type == R_X86_64_RELATIVE for r in img.relocations)
+
+    def test_program_headers(self):
+        img = read_elf(build_image(relocs=1))
+        types = [p.p_type for p in img.phdrs]
+        assert types == [PT_LOAD, PT_LOAD, PT_DYNAMIC]
+        text_seg, data_seg = img.load_segments
+        assert text_seg.p_flags & 0x1           # executable
+        assert not (data_seg.p_flags & 0x1)     # not executable
+        # page congruence, as the kernel (and our loader) require
+        assert text_seg.p_vaddr % PAGE_SIZE == text_seg.p_offset % PAGE_SIZE
+
+    def test_code_data_page_separation(self):
+        img = read_elf(build_image())
+        text = img.text_sections[0]
+        text_pages = set(range(text.vaddr // PAGE_SIZE,
+                               (text.vaddr + text.size - 1) // PAGE_SIZE + 1))
+        for sec in img.data_sections:
+            sec_pages = set(range(sec.vaddr // PAGE_SIZE,
+                                  (sec.vaddr + sec.size - 1) // PAGE_SIZE + 1))
+            assert not (text_pages & sec_pages)
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        blob = bytearray(build_image())
+        blob[0] = 0x7E
+        with pytest.raises(ElfError):
+            read_elf(bytes(blob))
+
+    def test_wrong_class(self):
+        blob = bytearray(build_image())
+        blob[4] = 1  # ELFCLASS32
+        with pytest.raises(ElfError):
+            read_elf(bytes(blob))
+
+    def test_wrong_endianness(self):
+        blob = bytearray(build_image())
+        blob[5] = 2  # big endian
+        with pytest.raises(ElfError):
+            read_elf(bytes(blob))
+
+    def test_wrong_machine(self):
+        blob = bytearray(build_image())
+        blob[18] = 0x28  # ARM
+        with pytest.raises(ElfError):
+            read_elf(bytes(blob))
+
+    def test_not_pie(self):
+        blob = bytearray(build_image())
+        blob[16] = 2  # ET_EXEC
+        with pytest.raises(ElfError):
+            read_elf(bytes(blob))
+
+    def test_truncated_file(self):
+        blob = build_image()
+        with pytest.raises(ElfError):
+            read_elf(blob[:40])
+        with pytest.raises(ElfError):
+            read_elf(blob[:2000])
+
+    def test_entry_outside_text_rejected_at_write(self):
+        with pytest.raises(ElfError):
+            build_image(entry=0x9999999)
+
+    def test_section_accessor(self):
+        img = read_elf(build_image())
+        assert img.section(".text").is_text
+        with pytest.raises(ElfError):
+            img.section(".nonexistent")

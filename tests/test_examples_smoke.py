@@ -1,0 +1,59 @@
+"""Smoke tests: the runnable examples must stay runnable."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    return proc.stdout
+
+
+@pytest.mark.slow
+def test_quickstart_example():
+    out = run_example("quickstart.py")
+    assert "verdict: ACCEPTED" in out
+    assert "library-linking: compliant" in out
+    assert "enclave sealed: True" in out
+
+
+@pytest.mark.slow
+def test_custom_policy_example():
+    out = run_example("custom_policy.py")
+    assert "clean client" in out and "ACCEPT" in out
+    assert "OS services" in out
+    assert "size budget" in out
+
+
+@pytest.mark.slow
+def test_runtime_protection_example():
+    out = run_example("runtime_protection_demo.py")
+    assert "STACK-SMASH" in out
+    assert "without IFCC: fault" in out
+    assert "with IFCC   : returned" in out
+    assert "blocked" in out
+
+
+@pytest.mark.slow
+def test_attestation_walkthrough_example():
+    out = run_example("attestation_walkthrough.py")
+    assert out.count("caught:") == 3
+    assert "identical" in out
+
+
+@pytest.mark.slow
+def test_sla_audit_example():
+    out = run_example("sla_compliance_audit.py")
+    assert "1/5 tenants admitted" in out
+    assert out.count("reject") >= 4

@@ -1,0 +1,97 @@
+"""Fuzz-style robustness: EnGarde consumes untrusted bytes everywhere.
+
+The decoder, ELF reader, and report parser all face attacker-controlled
+input; whatever the bytes, they must either succeed or raise their typed
+error — never crash with an unrelated exception.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ComplianceReport, Disassembler
+from repro.elf import read_elf
+from repro.errors import DecodeError, ElfError, RejectionError
+from repro.sgx import CycleMeter
+from repro.x86 import Instruction, decode_one
+
+
+@given(st.binary(min_size=1, max_size=20))
+@settings(max_examples=500, deadline=None)
+def test_decoder_total_on_arbitrary_bytes(data):
+    try:
+        insn = decode_one(data, 0)
+    except DecodeError:
+        return
+    assert isinstance(insn, Instruction)
+    assert 1 <= insn.length <= 15
+    assert insn.raw == data[:insn.length]
+    # metadata is internally consistent
+    assert insn.num_prefix_bytes + insn.num_opcode_bytes <= insn.length
+    str(insn)  # formatting never crashes
+
+
+@given(st.binary(max_size=512))
+@settings(max_examples=200, deadline=None)
+def test_elf_reader_total_on_arbitrary_bytes(data):
+    try:
+        read_elf(data)
+    except ElfError:
+        pass
+
+
+def _demo_elf() -> bytes:
+    from repro.toolchain import build_libc
+    from tests.conftest import compile_demo
+
+    global _DEMO_CACHE
+    try:
+        return _DEMO_CACHE
+    except NameError:
+        _DEMO_CACHE = compile_demo(build_libc(), name="fuzz").elf
+        return _DEMO_CACHE
+
+
+@given(st.binary(min_size=64, max_size=600))
+@settings(max_examples=100, deadline=None)
+def test_elf_reader_on_mutated_valid_image(data):
+    # splice attacker bytes into a valid image
+    blob = bytearray(_demo_elf())
+    start = min(len(blob) - len(data) - 1, 64)
+    blob[start:start + len(data)] = data
+    try:
+        read_elf(bytes(blob))
+    except ElfError:
+        pass
+
+
+@given(st.binary(max_size=800))
+@settings(max_examples=100, deadline=None)
+def test_engarde_pipeline_rejects_garbage_gracefully(data):
+    try:
+        Disassembler(CycleMeter()).run(data)
+    except RejectionError as exc:
+        assert exc.stage in ("elf", "page-split", "disasm")
+
+
+@given(st.text(max_size=300))
+@settings(max_examples=100, deadline=None)
+def test_report_deserialize_total(text):
+    try:
+        report = ComplianceReport.deserialize(text.encode())
+    except (ValueError, UnicodeDecodeError):
+        return
+    assert isinstance(report.compliant, bool)
+
+
+def test_truncations_of_valid_binary_all_rejected_or_handled():
+    """Every prefix truncation of a valid ELF is either parsed or cleanly
+    rejected (no IndexError/struct.error escapes)."""
+    blob = _demo_elf()
+    for cut in range(0, len(blob), max(len(blob) // 64, 1)):
+        try:
+            Disassembler(CycleMeter()).run(blob[:cut])
+        except RejectionError:
+            pass

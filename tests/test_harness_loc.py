@@ -1,0 +1,47 @@
+"""Figure 2 inventory and the harness glue."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.harness.loc import (
+    COMPONENTS,
+    EXTRA_COMPONENTS,
+    PAPER_LOC,
+    PAPER_TOTAL,
+    component_loc,
+    render_loc_table,
+)
+
+
+def test_every_referenced_module_exists():
+    src = Path(__file__).resolve().parent.parent / "src" / "repro"
+    for _name, (_paper, paths) in COMPONENTS.items():
+        for p in paths:
+            assert (src / p).is_file(), p
+    for _name, paths in EXTRA_COMPONENTS.items():
+        for p in paths:
+            assert (src / p).is_file(), p
+
+
+def test_paper_numbers_match_figure2():
+    assert PAPER_LOC["Code Provisioning"] == 270
+    assert PAPER_LOC["Loading and Relocating"] == 188
+    assert PAPER_LOC["Musl-libc"] == 90_728
+    assert PAPER_LOC["Lib crypto (openssl)"] == 287_985
+    assert PAPER_LOC["Lib ssl (openssl)"] == 63_566
+    assert PAPER_TOTAL == 453_349
+
+
+def test_loc_counts_positive_and_stable():
+    a = component_loc()
+    b = component_loc()
+    assert a == b
+    assert all(ours > 0 for _p, ours in a.values())
+
+
+def test_render_contains_all_components():
+    table = render_loc_table()
+    for name in COMPONENTS:
+        assert name in table
+    assert "Total" in table

@@ -1,0 +1,65 @@
+"""Runner internals: policy setup mapping, sizing, option plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import POLICY_SETUPS, make_policy, run_cell
+from repro.toolchain import build_libc
+
+
+class TestPolicySetups:
+    def test_figures_map_to_required_instrumentation(self):
+        assert POLICY_SETUPS["library-linking"]["figure"] == 3
+        assert not POLICY_SETUPS["library-linking"]["stack_protector"]
+        assert POLICY_SETUPS["stack-protection"]["figure"] == 4
+        assert POLICY_SETUPS["stack-protection"]["stack_protector"]
+        assert POLICY_SETUPS["indirect-function-call"]["figure"] == 5
+        assert POLICY_SETUPS["indirect-function-call"]["ifcc"]
+
+    def test_make_policy(self, libc):
+        assert make_policy("library-linking", libc).name == "library-linking"
+        assert make_policy("stack-protection", libc).name == "stack-protection"
+        assert make_policy("indirect-function-call", libc).name == (
+            "indirect-function-call"
+        )
+        with pytest.raises(KeyError):
+            make_policy("no-such-policy", libc)
+
+    def test_make_policy_forwards_options(self, libc):
+        policy = make_policy("library-linking", libc, memoize=True)
+        assert policy.memoize
+
+    def test_exemptions_wired_for_stack_protection(self, libc):
+        policy = make_policy("stack-protection", libc)
+        assert "memcpy" in policy.exempt_functions
+        assert "_start" in policy.exempt_functions
+
+
+class TestRunCell:
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError):
+            run_cell("mcf", "nonexistent-policy", scale=0.05)
+
+    def test_cell_result_fields(self):
+        cell = run_cell("mcf", "indirect-function-call", scale=0.05)
+        assert cell.benchmark == "mcf"
+        assert cell.policy == "indirect-function-call"
+        assert cell.total_cycles >= (
+            cell.disassembly_cycles + cell.policy_cycles + cell.loading_cycles
+        )
+        assert cell.sgx_instructions > 0
+
+    def test_policy_options_flow_through(self):
+        plain = run_cell("mcf", "library-linking", scale=0.05)
+        memo = run_cell("mcf", "library-linking", scale=0.05,
+                        policy_options={"memoize": True})
+        assert memo.policy_cycles < plain.policy_cycles
+        assert plain.accepted and memo.accepted
+
+    def test_prebuilt_binary_accepted(self, libc):
+        from repro.toolchain.workloads import build_workload
+
+        binary = build_workload("mcf", scale=0.05, libc=libc)
+        cell = run_cell("mcf", "library-linking", binary=binary, libc=libc)
+        assert cell.insn_count == binary.insn_count

@@ -1,0 +1,103 @@
+"""Protocol edge cases and error paths in provisioning."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.core import EnclaveClient, PolicyRegistry, provision
+from repro.core.provisioning import _CONTENT_HEADER
+from repro.errors import ProtocolError
+from repro.net import SocketPair
+from tests.conftest import small_provider
+
+
+class TestContentFraming:
+    def _session_with_channel(self, all_policies, payload_builder):
+        provider = small_provider(all_policies)
+        pair = SocketPair()
+        session = provider.start_session(pair.right)
+        from repro.crypto import HmacDrbg
+        from repro.crypto.channel import client_handshake
+
+        channel, _ = client_handshake(pair.left, HmacDrbg(b"c"))
+        payload_builder(channel)
+        return provider, session
+
+    def test_truncated_content_rejected(self, all_policies):
+        def build(channel):
+            channel.send(_CONTENT_HEADER.pack(1000, 2))
+            channel.send(b"x" * 100)  # announces 1000, sends 100 in 1 record
+            channel.send(b"")
+
+        provider, session = self._session_with_channel(all_policies, build)
+        with pytest.raises(ProtocolError, match="truncated"):
+            provider.run_engarde(session)
+
+    def test_oversized_announcement_rejected(self, all_policies):
+        def build(channel):
+            channel.send(_CONTENT_HEADER.pack(1 << 40, 1))
+
+        provider, session = self._session_with_channel(all_policies, build)
+        with pytest.raises(ProtocolError, match="sane"):
+            provider.run_engarde(session)
+
+    def test_malformed_header_rejected(self, all_policies):
+        def build(channel):
+            channel.send(b"tiny")
+
+        provider, session = self._session_with_channel(all_policies, build)
+        with pytest.raises(ProtocolError, match="header"):
+            provider.run_engarde(session)
+
+    def test_finalize_before_run_rejected(self, all_policies):
+        provider = small_provider(all_policies)
+        pair = SocketPair()
+        session = provider.start_session(pair.right)
+        with pytest.raises(ProtocolError):
+            provider.finalize(session)
+
+
+class TestClientStates:
+    def test_send_before_channel(self, all_policies, demo_plain):
+        client = EnclaveClient(demo_plain.elf, policies=all_policies)
+        with pytest.raises(ProtocolError):
+            client.send_content()
+        with pytest.raises(ProtocolError):
+            client.receive_verdict()
+
+    def test_challenge_is_fresh(self, all_policies, demo_plain):
+        client = EnclaveClient(demo_plain.elf, policies=all_policies)
+        assert client.challenge() != client.challenge()
+
+
+class TestResourceSizing:
+    def test_image_too_big_for_client_region(self, all_policies,
+                                             demo_instrumented):
+        provider = small_provider(all_policies, client_pages=4)
+        client = EnclaveClient(demo_instrumented.elf, policies=all_policies)
+        result = provision(provider, client)
+        assert not result.accepted
+        assert result.report.rejected_stage == "load"
+
+    def test_trampolines_counted(self, all_policies, demo_instrumented):
+        provider = small_provider(all_policies)
+        client = EnclaveClient(demo_instrumented.elf, policies=all_policies)
+        provision(provider, client)
+        # at minimum: socket registration + content records + buffer mallocs
+        # all exited/re-entered the enclave
+        runtime_list = list(provider.host.runtimes.values())
+        assert runtime_list[0].trampoline_calls > 3
+
+
+class TestPerInsnMallocProvider:
+    def test_ablation_config_costs_more(self, all_policies, demo_instrumented):
+        def total_cycles(per_insn):
+            provider = small_provider(all_policies, per_insn_malloc=per_insn)
+            client = EnclaveClient(demo_instrumented.elf, policies=all_policies)
+            result = provision(provider, client)
+            assert result.accepted
+            return result.meter.phase_cycles("disassembly")
+
+        assert total_cycles(True) > 2 * total_cycles(False)

@@ -1,0 +1,47 @@
+"""Property tests on the compliance report wire format."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ComplianceReport
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz-0123456789", min_size=1, max_size=24
+)
+pages = st.lists(
+    st.integers(0, 2**40).map(lambda v: v & ~0xFFF), max_size=16, unique=True
+)
+
+
+@given(benchmark=names, policies=st.lists(names, max_size=6, unique=True),
+       page_list=pages)
+@settings(max_examples=100, deadline=None)
+def test_accepted_roundtrip(benchmark, policies, page_list):
+    report = ComplianceReport.accepted(benchmark, policies, sorted(page_list))
+    assert ComplianceReport.deserialize(report.serialize()) == report
+
+
+@given(benchmark=names, policies=st.lists(names, min_size=1, max_size=6,
+                                          unique=True),
+       n_failed=st.integers(0, 6))
+@settings(max_examples=100, deadline=None)
+def test_rejected_roundtrip(benchmark, policies, n_failed):
+    failed = policies[: min(n_failed, len(policies))] or None
+    stage = None if failed else "disasm"
+    report = ComplianceReport.rejected(
+        benchmark, policies, failed=failed, stage=stage
+    )
+    again = ComplianceReport.deserialize(report.serialize())
+    assert again == report
+    assert not again.compliant
+
+
+@given(page_list=pages)
+@settings(max_examples=50, deadline=None)
+def test_wire_size_bounded(page_list):
+    report = ComplianceReport.accepted("bench", ["p1", "p2", "p3"],
+                                       sorted(page_list))
+    # the provider-visible message stays small: verdict + addresses only
+    assert len(report.serialize()) < 64 + 20 * (len(page_list) + 4)

@@ -1,0 +1,150 @@
+"""Property-based security invariants (hypothesis).
+
+These pin the threat-model guarantees from paper section 3:
+measurement binds content, the EPC never leaks plaintext, tampered
+transfers are rejected, and compliance reports carry no content.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import HmacDrbg
+from repro.crypto.channel import ServerHandshake, client_handshake
+from repro.errors import CryptoError, NetError, SgxError
+from repro.net import SocketPair
+from repro.sgx import Measurement, SgxMachine, SgxParams
+from repro.sgx.params import PAGE_SIZE
+
+import pytest
+
+BASE = 0x10000
+
+page_contents = st.binary(min_size=0, max_size=256)
+
+
+class TestMeasurementBinding:
+    @given(page_contents, page_contents)
+    @settings(max_examples=40, deadline=None)
+    def test_different_content_different_measurement(self, a, b):
+        def measure(content):
+            m = SgxMachine(SgxParams(epc_pages=8, heap_initial_pages=1))
+            e = m.ecreate(BASE, 0x10000)
+            m.add_measured_page(e, BASE, content)
+            return m.einit(e)
+
+        # EEXTEND measures whole pages: zero-padded-equal contents are the
+        # same page, anything else must change MRENCLAVE.
+        same_page = a.ljust(PAGE_SIZE, b"\x00") == b.ljust(PAGE_SIZE, b"\x00")
+        assert (measure(a) == measure(b)) == same_page
+
+    @given(st.lists(st.integers(0, 6), min_size=1, max_size=4, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_page_set_bound(self, page_indices):
+        m = SgxMachine(SgxParams(epc_pages=16, heap_initial_pages=1))
+        e = m.ecreate(BASE, 0x10000)
+        for idx in page_indices:
+            m.add_measured_page(e, BASE + idx * PAGE_SIZE, b"x")
+        first = m.einit(e)
+
+        m2 = SgxMachine(SgxParams(epc_pages=16, heap_initial_pages=1))
+        e2 = m2.ecreate(BASE, 0x10000)
+        for idx in page_indices:
+            m2.add_measured_page(e2, BASE + idx * PAGE_SIZE, b"x")
+        assert m2.einit(e2) == first
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_measurement_log_replay(self, content):
+        """A pure Measurement replay of the build equals the machine's."""
+        machine = SgxMachine(SgxParams(epc_pages=8, heap_initial_pages=1))
+        e = machine.ecreate(BASE, 0x10000)
+        machine.add_measured_page(e, BASE, content)
+        real = machine.einit(e)
+
+        m = Measurement()
+        m.ecreate(BASE, 0x10000, 0)
+        m.eadd(BASE, "REG", "rwx")
+        padded = content.ljust(PAGE_SIZE, b"\x00")
+        for off in range(0, PAGE_SIZE, 256):
+            m.eextend(BASE + off, padded[off:off + 256])
+        assert m.finalize() == real
+
+
+class TestEpcConfidentiality:
+    @given(st.binary(min_size=16, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_plaintext_never_in_ciphertext(self, secret):
+        machine = SgxMachine(SgxParams(epc_pages=8, heap_initial_pages=1))
+        e = machine.ecreate(BASE, 0x10000)
+        machine.eadd(e, BASE)
+        machine.einit(e)
+        e.write(BASE, secret)
+        page = e.pages[BASE]
+        ct = machine.epc.read_ciphertext(page)
+        assert secret not in ct
+
+    @given(st.integers(0, PAGE_SIZE - 1), st.integers(1, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_any_single_byte_tamper_detected(self, position, delta):
+        machine = SgxMachine(SgxParams(epc_pages=8, heap_initial_pages=1))
+        e = machine.ecreate(BASE, 0x10000)
+        machine.eadd(e, BASE)
+        machine.einit(e)
+        e.write(BASE, b"data")
+        page = e.pages[BASE]
+        ct = bytearray(machine.epc.read_ciphertext(page))
+        ct[position] ^= delta
+        machine.epc.tamper(page, bytes(ct))
+        with pytest.raises(SgxError):
+            e.read(BASE, 4)
+
+
+class TestChannelIntegrity:
+    @given(st.binary(min_size=1, max_size=256), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_any_record_tamper_detected(self, payload, seed):
+        pair = SocketPair()
+        hs = ServerHandshake(pair.right, HmacDrbg(b"s"), rsa_bits=512)
+        hs.send_public_key()
+        cli, _ = client_handshake(pair.left, HmacDrbg(b"c"))
+        srv = hs.complete()
+
+        cli.send(payload)
+        frame = bytearray(pair.right._inbox[0])
+        rng = HmacDrbg(seed.to_bytes(4, "big"))
+        pos = rng.randint(4, len(frame) - 1)  # skip the length prefix
+        frame[pos] ^= rng.randint(1, 255)
+        pair.right._inbox[0] = bytes(frame)
+        with pytest.raises((CryptoError, NetError)):
+            srv.recv()
+
+    @given(st.lists(st.binary(min_size=0, max_size=512), min_size=1, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_record_stream_preserved(self, payloads):
+        pair = SocketPair()
+        hs = ServerHandshake(pair.right, HmacDrbg(b"s"), rsa_bits=512)
+        hs.send_public_key()
+        cli, _ = client_handshake(pair.left, HmacDrbg(b"c"))
+        srv = hs.complete()
+        for p in payloads:
+            cli.send(p)
+        assert [srv.recv() for _ in payloads] == payloads
+
+
+class TestReportLeakFreedom:
+    @given(st.binary(min_size=48, max_size=96))
+    @settings(max_examples=20, deadline=None)
+    def test_rejection_reports_carry_no_content(self, content):
+        """Whatever bytes the client sends, a rejection report must not
+        echo any of them back to the provider."""
+        from repro.core import ComplianceReport, EnGarde, PolicyRegistry
+
+        engarde = EnGarde(PolicyRegistry([]))
+        outcome = engarde.inspect(content, benchmark="fuzz")
+        wire = outcome.report.serialize()
+        # no 8-byte window of the client content appears in the report
+        for i in range(0, len(content) - 8, 8):
+            assert content[i:i + 8] not in wire
+        assert ComplianceReport.deserialize(wire) == outcome.report

@@ -1,0 +1,91 @@
+"""The cycle meter and cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sgx import CostModel, CycleMeter
+
+
+class TestCostModel:
+    def test_defaults_include_paper_constant(self):
+        assert CostModel().sgx_instruction == 10_000  # the OpenSGX model
+
+    def test_replace_creates_variant(self):
+        base = CostModel()
+        variant = base.replace(sgx_instruction=1)
+        assert variant.sgx_instruction == 1
+        assert variant.decode_insn == base.decode_insn
+        assert base.sgx_instruction == 10_000  # original untouched
+
+    def test_replace_unknown_field(self):
+        with pytest.raises(TypeError):
+            CostModel().replace(warp_drive=9)
+
+
+class TestCycleMeter:
+    def test_charge_accumulates(self):
+        meter = CycleMeter()
+        meter.charge("decode_insn", 10)
+        meter.charge("decode_byte", 100)
+        expected = 10 * meter.cost.decode_insn + 100 * meter.cost.decode_byte
+        assert meter.total_cycles == expected
+        assert meter.total.events == {"decode_insn": 10, "decode_byte": 100}
+
+    def test_unknown_event(self):
+        with pytest.raises(KeyError):
+            CycleMeter().charge("nonexistent_event")
+
+    def test_charge_returns_cycles(self):
+        meter = CycleMeter()
+        assert meter.charge("sgx_instruction", 3) == 30_000
+
+    def test_phase_attribution(self):
+        meter = CycleMeter()
+        with meter.phase("disassembly"):
+            meter.charge("decode_insn", 5)
+        with meter.phase("policy"):
+            meter.charge("policy_scan_insn", 7)
+        meter.charge("reloc_apply")  # outside any phase
+        assert meter.phase_cycles("disassembly") == 5 * meter.cost.decode_insn
+        assert meter.phase_cycles("policy") == 7 * meter.cost.policy_scan_insn
+        assert meter.phase_cycles("unknown") == 0
+        total_phases = (meter.phase_cycles("disassembly")
+                        + meter.phase_cycles("policy"))
+        assert meter.total_cycles == total_phases + meter.cost.reloc_apply
+
+    def test_nested_phases_attribute_to_innermost(self):
+        meter = CycleMeter()
+        with meter.phase("outer"):
+            meter.charge("decode_insn")
+            with meter.phase("inner"):
+                meter.charge("decode_insn")
+        assert meter.phases["outer"].events["decode_insn"] == 1
+        assert meter.phases["inner"].events["decode_insn"] == 1
+
+    def test_sgx_instruction_counter(self):
+        meter = CycleMeter()
+        meter.charge_sgx(4)
+        meter.charge("decode_insn")
+        assert meter.sgx_instruction_count == 4
+
+    def test_reset(self):
+        meter = CycleMeter()
+        with meter.phase("p"):
+            meter.charge_sgx()
+        meter.reset()
+        assert meter.total_cycles == 0
+        assert meter.phases == {}
+
+    def test_report_shape(self):
+        meter = CycleMeter()
+        with meter.phase("loading"):
+            meter.charge("reloc_apply", 3)
+        report = meter.report()
+        assert report["loading"]["cycles"] == 3 * meter.cost.reloc_apply
+        assert report["loading"]["reloc_apply"] == 3
+
+    def test_custom_model_flows_through(self):
+        meter = CycleMeter(CostModel().replace(decode_insn=1))
+        meter.charge("decode_insn", 42)
+        assert meter.total_cycles == 42

@@ -1,0 +1,119 @@
+"""EPC pool: allocation, hardware encryption, integrity, isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EpcExhaustedError, SgxError
+from repro.sgx import Epc, PagePermissions
+from repro.sgx.params import PAGE_SIZE
+
+
+@pytest.fixture()
+def epc():
+    return Epc(8, hardware_key=b"hw-key-for-tests")
+
+
+class TestPool:
+    def test_allocation_accounting(self, epc):
+        assert epc.free_pages == 8 and epc.used_pages == 0
+        page = epc.allocate(eid=1, vaddr=0x1000)
+        assert epc.free_pages == 7
+        assert page.owner_eid == 1 and page.vaddr == 0x1000
+
+    def test_exhaustion(self, epc):
+        for i in range(8):
+            epc.allocate(1, 0x1000 + i * PAGE_SIZE)
+        with pytest.raises(EpcExhaustedError):
+            epc.allocate(1, 0x100000)
+
+    def test_release_recycles(self, epc):
+        pages = [epc.allocate(1, 0x1000 + i * PAGE_SIZE) for i in range(8)]
+        epc.release(pages[0])
+        assert epc.free_pages == 1
+        again = epc.allocate(2, 0x9000)
+        assert again.owner_eid == 2
+
+    def test_double_free_rejected(self, epc):
+        page = epc.allocate(1, 0x1000)
+        epc.release(page)
+        with pytest.raises(SgxError):
+            epc.release(page)
+
+    def test_zero_pages_invalid(self):
+        with pytest.raises(ValueError):
+            Epc(0, b"key")
+
+
+class TestCrypto:
+    def test_fresh_page_reads_zero(self, epc):
+        page = epc.allocate(1, 0x1000)
+        assert epc.read_plaintext(page, eid=1) == b"\x00" * PAGE_SIZE
+
+    def test_write_read_roundtrip(self, epc):
+        page = epc.allocate(1, 0x1000)
+        data = bytes(range(256)) * 16
+        epc.write_plaintext(page, data, eid=1)
+        assert epc.read_plaintext(page, eid=1) == data
+
+    def test_ciphertext_differs_from_plaintext(self, epc):
+        page = epc.allocate(1, 0x1000)
+        data = b"TOP-SECRET-ENCLAVE-CONTENT".ljust(PAGE_SIZE, b".")
+        epc.write_plaintext(page, data, eid=1)
+        ct = epc.read_ciphertext(page)
+        assert ct != data
+        assert b"TOP-SECRET" not in ct
+
+    def test_same_plaintext_different_pages_different_ciphertext(self, epc):
+        a = epc.allocate(1, 0x1000)
+        b = epc.allocate(1, 0x2000)
+        data = b"\xaa" * PAGE_SIZE
+        epc.write_plaintext(a, data, eid=1)
+        epc.write_plaintext(b, data, eid=1)
+        assert epc.read_ciphertext(a) != epc.read_ciphertext(b)
+
+    def test_partial_write_rejected(self, epc):
+        page = epc.allocate(1, 0x1000)
+        with pytest.raises(SgxError):
+            epc.write_plaintext(page, b"short", eid=1)
+
+    def test_release_scrubs_content(self, epc):
+        page = epc.allocate(1, 0x1000)
+        epc.write_plaintext(page, b"\xff" * PAGE_SIZE, eid=1)
+        epc.release(page)
+        fresh = epc.allocate(2, 0x3000)
+        assert epc.read_plaintext(fresh, eid=2) == b"\x00" * PAGE_SIZE
+
+
+class TestIsolation:
+    def test_cross_enclave_read_denied(self, epc):
+        page = epc.allocate(1, 0x1000)
+        with pytest.raises(SgxError):
+            epc.read_plaintext(page, eid=2)
+
+    def test_cross_enclave_write_denied(self, epc):
+        page = epc.allocate(1, 0x1000)
+        with pytest.raises(SgxError):
+            epc.write_plaintext(page, b"\x00" * PAGE_SIZE, eid=2)
+
+    def test_tamper_detected_on_next_access(self, epc):
+        page = epc.allocate(1, 0x1000)
+        epc.write_plaintext(page, b"\x42" * PAGE_SIZE, eid=1)
+        epc.tamper(page, b"\x00" * PAGE_SIZE)
+        with pytest.raises(SgxError, match="integrity"):
+            epc.read_plaintext(page, eid=1)
+
+    def test_different_machines_different_keystreams(self):
+        a = Epc(2, b"machine-a")
+        b = Epc(2, b"machine-b")
+        pa = a.allocate(1, 0x1000)
+        pb = b.allocate(1, 0x1000)
+        data = b"\x55" * PAGE_SIZE
+        a.write_plaintext(pa, data, eid=1)
+        b.write_plaintext(pb, data, eid=1)
+        assert a.read_ciphertext(pa) != b.read_ciphertext(pb)
+
+
+def test_permissions_string():
+    assert PagePermissions().as_str() == "rw-"
+    assert PagePermissions(read=True, write=False, execute=True).as_str() == "r-x"

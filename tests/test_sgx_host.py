@@ -1,0 +1,170 @@
+"""Host OS: enclave building, trampoline services, EnGarde protections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EnclaveSealedError, SgxError
+from repro.net import SocketPair
+from repro.sgx import HostOS, SgxMachine, SgxParams
+from repro.sgx.params import PAGE_SIZE
+
+BASE = 0x10000
+
+
+@pytest.fixture()
+def host():
+    return HostOS(SgxMachine(SgxParams(epc_pages=256, heap_initial_pages=8)))
+
+
+@pytest.fixture()
+def runtime(host):
+    return host.build_enclave(
+        base=BASE,
+        size=0x400000,
+        bootstrap_pages={BASE: b"ENGARDE", BASE + PAGE_SIZE: b"LIBS"},
+        client_pages=8,
+    )
+
+
+class TestBuild:
+    def test_layout(self, runtime):
+        assert runtime.client_base > BASE + PAGE_SIZE
+        assert runtime.client_base % PAGE_SIZE == 0
+        assert runtime.heap_base == runtime.client_base + 8 * PAGE_SIZE
+        assert runtime.heap_pages == 8
+        assert runtime.enclave.page_count == 2 + 8 + 8
+
+    def test_client_region_starts_rwx(self, runtime):
+        page = runtime.enclave.pages[runtime.client_base]
+        assert page.perms.as_str() == "rwx"
+
+    def test_heap_starts_rw(self, runtime):
+        page = runtime.enclave.pages[runtime.heap_base]
+        assert page.perms.as_str() == "rw-"
+
+    def test_oversized_heap_rejected(self, host):
+        with pytest.raises(SgxError):
+            host.build_enclave(
+                base=BASE, size=4 * PAGE_SIZE,
+                bootstrap_pages={BASE: b"x"}, heap_pages=100,
+            )
+
+    def test_build_is_measured(self, host):
+        a = host.build_enclave(
+            base=BASE, size=0x100000, bootstrap_pages={BASE: b"v1"}, heap_pages=2
+        )
+        b = host.build_enclave(
+            base=BASE, size=0x100000, bootstrap_pages={BASE: b"v2"}, heap_pages=2
+        )
+        assert a.enclave.mrenclave != b.enclave.mrenclave
+
+
+class TestTrampoline:
+    def test_alloc_from_precommitted_heap(self, host, runtime):
+        host.machine.eenter(runtime.enclave)
+        base = host.svc_alloc_pages(runtime, 2)
+        assert base == runtime.heap_base
+        assert runtime.heap_used_pages == 2
+        assert runtime.trampoline_calls == 1
+        runtime.enclave.write(base, b"heap data")
+
+    def test_alloc_grows_via_eaug(self, host, runtime):
+        host.machine.eenter(runtime.enclave)
+        host.svc_alloc_pages(runtime, 8)   # exhausts pre-commit
+        before = host.machine.meter.sgx_instruction_count
+        base = host.svc_alloc_pages(runtime, 3)  # 3 EAUGs + trampoline
+        after = host.machine.meter.sgx_instruction_count
+        assert after - before == 2 + 3
+        runtime.enclave.write(base + 2 * PAGE_SIZE, b"grown")
+
+    def test_trampoline_costs_two_sgx_instructions(self, host, runtime):
+        host.machine.eenter(runtime.enclave)
+        before = host.machine.meter.sgx_instruction_count
+        host.trampoline(runtime)
+        assert host.machine.meter.sgx_instruction_count == before + 2
+
+    def test_alloc_zero_rejected(self, host, runtime):
+        host.machine.eenter(runtime.enclave)
+        with pytest.raises(SgxError):
+            host.svc_alloc_pages(runtime, 0)
+
+    def test_socket_services(self, host, runtime):
+        host.machine.eenter(runtime.enclave)
+        pair = SocketPair()
+        fd = host.svc_socket(runtime, pair.right)
+        pair.left.send(b"from client")
+        assert host.svc_recv(runtime, fd) == b"from client"
+        host.svc_send(runtime, fd, b"reply")
+        assert pair.left.recv() == b"reply"
+        with pytest.raises(SgxError):
+            host.svc_send(runtime, 99, b"bad fd")
+
+
+class TestEngardeProtections:
+    def test_wx_separation(self, host, runtime):
+        host.machine.eenter(runtime.enclave)
+        code_page = runtime.client_base
+        data_page = runtime.client_base + PAGE_SIZE
+        runtime.enclave.write(code_page, b"\x90" * 8)
+        runtime.enclave.write(data_page, b"DATA")
+
+        host.apply_engarde_protections(runtime, [code_page])
+
+        assert runtime.enclave.fetch_code(code_page, 4) == b"\x90" * 4
+        with pytest.raises(SgxError):
+            runtime.enclave.write(code_page, b"inject")
+        runtime.enclave.write(data_page, b"data still writable")
+        with pytest.raises(SgxError):
+            runtime.enclave.fetch_code(data_page, 4)
+
+    def test_page_table_mirrors_epcm(self, host, runtime):
+        host.machine.eenter(runtime.enclave)
+        code_page = runtime.client_base
+        host.apply_engarde_protections(runtime, [code_page])
+        pte = runtime.page_table[code_page]
+        assert pte.execute and not pte.write
+        data_pte = runtime.page_table[runtime.client_base + PAGE_SIZE]
+        assert data_pte.write and not data_pte.execute
+
+    def test_seals_enclave(self, host, runtime):
+        host.machine.eenter(runtime.enclave)
+        host.apply_engarde_protections(runtime, [runtime.client_base])
+        assert runtime.enclave.sealed
+        with pytest.raises(EnclaveSealedError):
+            host.svc_alloc_pages(runtime, 1000)
+
+    def test_unmapped_exec_page_rejected(self, host, runtime):
+        with pytest.raises(SgxError):
+            host.apply_engarde_protections(runtime, [0xDEAD000])
+
+    def test_unaligned_exec_page_rejected(self, host, runtime):
+        with pytest.raises(SgxError):
+            host.apply_engarde_protections(runtime, [runtime.client_base + 1])
+
+    def test_sgx1_fallback_is_software_only(self):
+        # On SGX1 the EPC permissions cannot change: only the (attackable)
+        # page-table bits are updated.  This is the paper's argument for
+        # requiring SGX2.
+        host = HostOS(SgxMachine(SgxParams(epc_pages=64, heap_initial_pages=2,
+                                           sgx2=False)))
+        runtime = host.build_enclave(
+            base=BASE, size=0x100000, bootstrap_pages={BASE: b"x"},
+            client_pages=2,
+        )
+        host.machine.eenter(runtime.enclave)
+        host.apply_engarde_protections(runtime, [runtime.client_base])
+        # PTE says no-write, but the EPCM still allows it: a malicious OS
+        # could flip the PTE back.  The write going through demonstrates
+        # the SGX1 weakness.
+        runtime.enclave.write(runtime.client_base, b"sgx1 attack window")
+
+
+class TestConfidentiality:
+    def test_host_sees_only_ciphertext(self, host, runtime):
+        host.machine.eenter(runtime.enclave)
+        secret = b"CLIENT SECRET CODE".ljust(64, b"!")
+        runtime.enclave.write(runtime.client_base, secret)
+        observed = host.peek_enclave_memory(runtime, runtime.client_base)
+        assert secret not in observed
+        assert observed != runtime.enclave.read(runtime.client_base, PAGE_SIZE)

@@ -1,0 +1,240 @@
+"""SGX instruction layer: lifecycle, measurement, SGX2, cycle charging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EnclaveSealedError, SgxError
+from repro.sgx import (
+    EnclaveState, Measurement, PagePermissions, SgxMachine, SgxParams,
+)
+from repro.sgx.params import PAGE_SIZE
+
+BASE = 0x10000
+SIZE = 0x40000
+
+
+@pytest.fixture()
+def machine():
+    return SgxMachine(SgxParams(epc_pages=64, heap_initial_pages=4))
+
+
+def build_minimal(machine, content=b"bootstrap"):
+    enclave = machine.ecreate(BASE, SIZE)
+    machine.add_measured_page(enclave, BASE, content)
+    machine.einit(enclave)
+    return enclave
+
+
+class TestLifecycle:
+    def test_create_add_init(self, machine):
+        enclave = machine.ecreate(BASE, SIZE)
+        assert enclave.state is EnclaveState.PENDING
+        machine.add_measured_page(enclave, BASE, b"code")
+        mrenclave = machine.einit(enclave)
+        assert enclave.state is EnclaveState.INITIALIZED
+        assert len(mrenclave) == 32
+
+    def test_unaligned_rejected(self, machine):
+        with pytest.raises(SgxError):
+            machine.ecreate(BASE + 1, SIZE)
+        enclave = machine.ecreate(BASE, SIZE)
+        with pytest.raises(SgxError):
+            machine.eadd(enclave, BASE + 7)
+
+    def test_page_outside_elrange(self, machine):
+        enclave = machine.ecreate(BASE, SIZE)
+        with pytest.raises(SgxError):
+            machine.eadd(enclave, BASE + SIZE)
+
+    def test_double_map_rejected(self, machine):
+        enclave = machine.ecreate(BASE, SIZE)
+        machine.eadd(enclave, BASE)
+        with pytest.raises(SgxError):
+            machine.eadd(enclave, BASE)
+
+    def test_eadd_after_einit_rejected(self, machine):
+        enclave = build_minimal(machine)
+        with pytest.raises(SgxError):
+            machine.eadd(enclave, BASE + PAGE_SIZE)
+
+    def test_enter_exit(self, machine):
+        enclave = build_minimal(machine)
+        machine.eenter(enclave)
+        assert enclave.entered == 1
+        machine.eexit(enclave)
+        assert enclave.entered == 0
+        with pytest.raises(SgxError):
+            machine.eexit(enclave)
+
+    def test_enter_before_init_rejected(self, machine):
+        enclave = machine.ecreate(BASE, SIZE)
+        with pytest.raises(SgxError):
+            machine.eenter(enclave)
+
+    def test_eremove_running_enclave_rejected(self, machine):
+        enclave = build_minimal(machine)
+        machine.eenter(enclave)
+        with pytest.raises(SgxError):
+            machine.eremove(enclave, BASE)
+
+    def test_destroy_releases_epc(self, machine):
+        before = machine.epc.free_pages
+        enclave = build_minimal(machine)
+        assert machine.epc.free_pages == before - 1
+        machine.destroy(enclave)
+        assert machine.epc.free_pages == before
+
+
+class TestMeasurement:
+    def test_identical_builds_identical_mrenclave(self):
+        def build():
+            m = SgxMachine(SgxParams(epc_pages=16, heap_initial_pages=2),
+                           hardware_seed=b"any")
+            e = m.ecreate(BASE, SIZE)
+            m.add_measured_page(e, BASE, b"content-a")
+            m.add_measured_page(e, BASE + PAGE_SIZE, b"content-b")
+            return m.einit(e)
+
+        assert build() == build()
+
+    def test_content_changes_measurement(self, machine):
+        a = build_minimal(machine, b"version-one")
+        b = build_minimal(machine, b"version-two")
+        assert a.mrenclave != b.mrenclave
+
+    def test_page_order_changes_measurement(self):
+        def build(order):
+            m = SgxMachine(SgxParams(epc_pages=16, heap_initial_pages=2))
+            e = m.ecreate(BASE, SIZE)
+            for vaddr in order:
+                m.add_measured_page(e, vaddr, b"x")
+            return m.einit(e)
+
+        assert build([BASE, BASE + PAGE_SIZE]) != build([BASE + PAGE_SIZE, BASE])
+
+    def test_permissions_are_measured(self):
+        def build(perms):
+            m = SgxMachine(SgxParams(epc_pages=16, heap_initial_pages=2))
+            e = m.ecreate(BASE, SIZE)
+            m.eadd(e, BASE, b"x", perms=perms)
+            return m.einit(e)
+
+        rwx = build(PagePermissions(True, True, True))
+        rw = build(PagePermissions(True, True, False))
+        assert rwx != rw
+
+    def test_mrenclave_before_einit_raises(self, machine):
+        enclave = machine.ecreate(BASE, SIZE)
+        with pytest.raises(SgxError):
+            _ = enclave.mrenclave
+
+    def test_measurement_object_freezes(self):
+        m = Measurement()
+        m.ecreate(0, 0x1000, 0)
+        first = m.finalize()
+        assert m.finalize() == first
+        with pytest.raises(SgxError):
+            m.eadd(0x1000, "REG", "rwx")
+
+
+class TestMemoryAccess:
+    def test_rw_inside_enclave(self, machine):
+        enclave = build_minimal(machine)
+        enclave.write(BASE + 100, b"hello")
+        assert enclave.read(BASE + 100, 5) == b"hello"
+
+    def test_cross_page_write(self, machine):
+        enclave = machine.ecreate(BASE, SIZE)
+        machine.eadd(enclave, BASE)
+        machine.eadd(enclave, BASE + PAGE_SIZE)
+        machine.einit(enclave)
+        data = b"Z" * 100
+        enclave.write(BASE + PAGE_SIZE - 50, data)
+        assert enclave.read(BASE + PAGE_SIZE - 50, 100) == data
+
+    def test_unmapped_page_faults(self, machine):
+        enclave = build_minimal(machine)
+        with pytest.raises(SgxError):
+            enclave.read(BASE + 8 * PAGE_SIZE, 4)
+
+    def test_outside_elrange_faults(self, machine):
+        enclave = build_minimal(machine)
+        with pytest.raises(SgxError):
+            enclave.read(BASE - 1, 4)
+        with pytest.raises(SgxError):
+            enclave.write(BASE + SIZE - 2, b"abcd")
+
+    def test_execute_permission_enforced(self, machine):
+        enclave = machine.ecreate(BASE, SIZE)
+        machine.eadd(enclave, BASE, b"\x90" * 16,
+                     perms=PagePermissions(True, True, False))
+        machine.einit(enclave)
+        with pytest.raises(SgxError):
+            enclave.fetch_code(BASE, 4)
+
+
+class TestSgx2:
+    def test_eaug_post_init(self, machine):
+        enclave = build_minimal(machine)
+        machine.eaug(enclave, BASE + PAGE_SIZE)
+        enclave.write(BASE + PAGE_SIZE, b"dynamic")
+        assert enclave.read(BASE + PAGE_SIZE, 7) == b"dynamic"
+
+    def test_eaug_requires_sgx2(self):
+        machine = SgxMachine(SgxParams(epc_pages=16, heap_initial_pages=2, sgx2=False))
+        enclave = build_minimal(machine)
+        with pytest.raises(SgxError, match="SGX2"):
+            machine.eaug(enclave, BASE + PAGE_SIZE)
+
+    def test_emodpr_restricts_only(self, machine):
+        enclave = build_minimal(machine)
+        machine.emodpr(enclave, BASE, PagePermissions(True, False, True))
+        with pytest.raises(SgxError):
+            enclave.write(BASE, b"x")
+        # extending back via EMODPR is rejected
+        with pytest.raises(SgxError):
+            machine.emodpr(enclave, BASE, PagePermissions(True, True, True))
+
+    def test_emodpe_requires_enclave_context(self, machine):
+        enclave = build_minimal(machine)
+        machine.emodpr(enclave, BASE, PagePermissions(True, False, False))
+        with pytest.raises(SgxError):
+            machine.emodpe(enclave, BASE, PagePermissions(True, True, False))
+        machine.eenter(enclave)
+        machine.emodpe(enclave, BASE, PagePermissions(True, True, False))
+        enclave.write(BASE, b"y")
+
+    def test_emodpr_requires_sgx2(self):
+        machine = SgxMachine(SgxParams(epc_pages=16, heap_initial_pages=2, sgx2=False))
+        enclave = build_minimal(machine)
+        with pytest.raises(SgxError, match="SGX2"):
+            machine.emodpr(enclave, BASE, PagePermissions(True, False, True))
+
+    def test_sealed_enclave_rejects_eaug(self, machine):
+        enclave = build_minimal(machine)
+        enclave.sealed = True
+        with pytest.raises(EnclaveSealedError):
+            machine.eaug(enclave, BASE + PAGE_SIZE)
+
+
+class TestCycleCharging:
+    def test_sgx_instructions_charged(self):
+        machine = SgxMachine(SgxParams(epc_pages=16, heap_initial_pages=2))
+        enclave = machine.ecreate(BASE, SIZE)          # 1
+        machine.add_measured_page(enclave, BASE, b"")  # 1 EADD + 16 EEXTEND
+        machine.einit(enclave)                          # 1
+        machine.eenter(enclave)                         # 1
+        machine.eexit(enclave)                          # 1
+        assert machine.meter.sgx_instruction_count == 21
+        assert machine.meter.total_cycles == 21 * 10_000
+
+    def test_cost_model_override(self):
+        from repro.sgx import CostModel, CycleMeter
+
+        meter = CycleMeter(CostModel().replace(sgx_instruction=5))
+        machine = SgxMachine(
+            SgxParams(epc_pages=16, heap_initial_pages=2), meter=meter
+        )
+        machine.ecreate(BASE, SIZE)
+        assert machine.meter.total_cycles == 5

@@ -1,0 +1,257 @@
+"""Compiler + linker: instrumentation idioms, symbols, relocations, GC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elf import read_elf
+from repro.errors import LinkError, ToolchainError
+from repro.toolchain import (
+    Compiler,
+    CompilerFlags,
+    DataObject,
+    FunctionSpec,
+    JUMP_TABLE_PREFIX,
+    ProgramSpec,
+    STACK_CHK_FAIL,
+    link,
+)
+from repro.x86 import Imm, Mem, Reg, decode_all, validate
+from tests.conftest import compile_demo, make_demo_spec
+
+
+def decode_binary(binary):
+    img = read_elf(binary.elf)
+    text = img.text_sections[0]
+    return img, text, decode_all(text.data)
+
+
+def function_body(img, text, insns, name):
+    syms = sorted((s.value for s in img.function_symbols()))
+    start = next(s.value for s in img.function_symbols() if s.name == name)
+    import bisect
+
+    nxt = bisect.bisect_right(syms, start)
+    end = syms[nxt] if nxt < len(syms) else text.vaddr + len(text.data)
+    return [i for i in insns if start - text.vaddr <= i.offset < end - text.vaddr]
+
+
+class TestPlainCompile:
+    def test_binary_decodes_and_validates(self, demo_plain):
+        img, text, insns = decode_binary(demo_plain)
+        roots = [s.value - text.vaddr for s in img.function_symbols()]
+        validate(insns, entry=demo_plain.entry_vaddr - text.vaddr, roots=roots)
+
+    def test_insn_count_exact(self, demo_plain):
+        _, _, insns = decode_binary(demo_plain)
+        assert len(insns) == demo_plain.insn_count
+
+    def test_entry_is_start(self, demo_plain):
+        img, _, _ = decode_binary(demo_plain)
+        start = next(s for s in img.symbols if s.name == "_start")
+        assert img.entry == start.value
+
+    def test_direct_calls_resolve_to_symbols(self, demo_plain):
+        img, text, insns = decode_binary(demo_plain)
+        starts = {s.value - text.vaddr for s in img.function_symbols()}
+        calls = [i for i in insns if i.is_direct_call]
+        assert calls, "demo program must contain direct calls"
+        assert all(c.target in starts for c in calls)
+
+    def test_compiler_is_deterministic(self, libc):
+        a = compile_demo(libc, name="det")
+        b = compile_demo(libc, name="det")
+        assert a.elf == b.elf
+
+
+class TestStackProtectorPass:
+    def test_prologue_epilogue_idiom(self, libc):
+        binary = compile_demo(libc, stack_protector=True)
+        img, text, insns = decode_binary(binary)
+        body = function_body(img, text, insns, "main")
+        canary_loads = [i for i in body if i.reads_fs_offset(0x28)]
+        assert len(canary_loads) == 2  # prologue load + epilogue recompute
+        # the spill right after the prologue load
+        spill = body[body.index(canary_loads[0]) + 1]
+        assert spill.mnemonic == "mov"
+        assert isinstance(spill.operands[1], Mem)
+        assert spill.operands[1].base.num == 4  # (%rsp)
+        # jne -> callq __stack_chk_fail
+        jnes = [i for i in body if i.mnemonic == "jne"]
+        assert jnes
+        chk_fail = next(s for s in img.function_symbols()
+                        if s.name == STACK_CHK_FAIL)
+        tail_calls = [
+            i for i in body
+            if i.is_direct_call and i.target == chk_fail.value - text.vaddr
+        ]
+        assert tail_calls
+
+    def test_instrumentation_grows_count(self, libc):
+        plain = compile_demo(libc)
+        protected = compile_demo(libc, stack_protector=True)
+        # ~7-10 extra instructions per function (3 functions + _start)
+        assert 0 < protected.insn_count - plain.insn_count < 60
+
+    def test_stack_chk_fail_linked(self, libc):
+        binary = compile_demo(libc, stack_protector=True)
+        assert STACK_CHK_FAIL in binary.symbols
+
+
+class TestIfccPass:
+    def test_call_site_idiom(self, libc):
+        binary = compile_demo(libc, ifcc=True)
+        img, text, insns = decode_binary(binary)
+        icalls = [i for i in insns if i.is_indirect_call]
+        assert icalls
+        for call in icalls:
+            idx = insns.index(call)
+            window = [
+                i for i in insns[max(0, idx - 8):idx]
+                if i.mnemonic not in ("nop", "nopl")
+            ]
+            mnemonics = [i.mnemonic for i in window][-4:]
+            assert mnemonics == ["lea", "sub", "and", "add"]
+
+    def test_jump_table_structure(self, libc):
+        binary = compile_demo(libc, ifcc=True)
+        img, text, insns = decode_binary(binary)
+        entries = sorted(
+            s.value - text.vaddr for s in img.function_symbols()
+            if s.name.startswith(JUMP_TABLE_PREFIX)
+        )
+        assert len(entries) >= 2
+        size = len(entries) * 8
+        assert size & (size - 1) == 0  # power of two
+        by_offset = {i.offset: i for i in insns}
+        for e in entries:
+            assert by_offset[e].mnemonic == "jmpq" and by_offset[e].length == 5
+            assert by_offset[e + 5].mnemonic == "nopl"
+
+    def test_mask_matches_table(self, libc):
+        binary = compile_demo(libc, ifcc=True)
+        img, text, insns = decode_binary(binary)
+        n_entries = sum(
+            1 for s in img.function_symbols()
+            if s.name.startswith(JUMP_TABLE_PREFIX)
+        )
+        ands = [
+            i for i in insns
+            if i.mnemonic == "and" and isinstance(i.operands[0], Imm)
+            and isinstance(i.operands[1], Reg)
+        ]
+        masks = {i.operands[0].value for i in ands}
+        assert n_entries * 8 - 8 in masks
+
+    def test_pointer_slots_target_table(self, libc):
+        binary = compile_demo(libc, ifcc=True)
+        img, text, _ = decode_binary(binary)
+        entries = {
+            s.value for s in img.function_symbols()
+            if s.name.startswith(JUMP_TABLE_PREFIX)
+        }
+        assert img.relocations
+        # the icall slot points at a table entry, not the raw function
+        assert any(r.r_addend in entries for r in img.relocations)
+
+    def test_plain_pointer_slots_target_functions(self, libc):
+        binary = compile_demo(libc, ifcc=False)
+        img, _, _ = decode_binary(binary)
+        func_addrs = {s.value for s in img.function_symbols()}
+        assert any(r.r_addend in func_addrs for r in img.relocations)
+
+
+class TestLinker:
+    def test_gc_retains_only_imports(self, libc, demo_plain):
+        img, _, _ = decode_binary(demo_plain)
+        libc_names = {s.name for s in img.function_symbols()} & set(libc.offsets)
+        assert libc_names == {"memcpy", "printf", "strlen"}
+
+    def test_libc_units_byte_identical_in_binary(self, libc, demo_plain):
+        img, text, _ = decode_binary(demo_plain)
+        db = libc.reference_hashes()
+        from repro.crypto import sha256_fast
+
+        syms = sorted(s.value for s in img.function_symbols())
+        import bisect
+
+        for sym in img.function_symbols():
+            if sym.name not in libc.offsets:
+                continue
+            i = bisect.bisect_right(syms, sym.value)
+            end = syms[i] if i < len(syms) else text.vaddr + len(text.data)
+            body = text.data[sym.value - text.vaddr:end - text.vaddr]
+            assert sha256_fast(body) == db[sym.name], sym.name
+
+    def test_undefined_symbol(self, libc):
+        spec = ProgramSpec(
+            name="bad",
+            functions=[FunctionSpec("main", direct_calls=["ghost"])],
+            libc_imports=["ghost"],  # passes validate, fails at link
+        )
+        prog = Compiler().compile(spec)
+        with pytest.raises((LinkError, KeyError)):
+            link(prog, libc)
+
+    def test_client_libc_collision(self, libc):
+        spec = ProgramSpec(
+            name="bad", functions=[FunctionSpec("main"), FunctionSpec("memcpy")]
+        )
+        prog = Compiler().compile(spec)
+        with pytest.raises(LinkError):
+            link(prog, libc)
+
+    def test_data_objects_and_relocs(self, libc):
+        spec = make_demo_spec("data-test")
+        spec.data_objects.append(
+            DataObject("table", 24, pointers=[(0, "main"), (8, "helper")])
+        )
+        binary = link(Compiler().compile(spec), libc)
+        img = read_elf(binary.elf)
+        table = next(s for s in img.symbols if s.name == "table")
+        targets = {r.r_addend for r in img.relocations
+                   if table.value <= r.r_offset < table.value + 24}
+        assert binary.symbols["main"] in targets
+        assert binary.symbols["helper"] in targets
+        # initialised slot content equals the link-time vaddr (pre-bias)
+        data = img.section(".data").data
+        off = table.value - img.section(".data").vaddr
+        assert int.from_bytes(data[off:off + 8], "little") == binary.symbols["main"]
+
+    def test_functions_bundle_aligned(self, demo_instrumented):
+        img, _, _ = decode_binary(demo_instrumented)
+        for s in img.function_symbols():
+            if not s.name.startswith(JUMP_TABLE_PREFIX):
+                assert s.value % 32 == 0, s.name
+
+
+class TestSpecValidation:
+    def test_duplicate_function_names(self):
+        spec = ProgramSpec(name="d", functions=[FunctionSpec("a"), FunctionSpec("a")])
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_unknown_callee(self):
+        spec = ProgramSpec(
+            name="d", functions=[FunctionSpec("a", direct_calls=["nope"])]
+        )
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_icalls_need_targets(self):
+        spec = ProgramSpec(
+            name="d", functions=[FunctionSpec("a", indirect_calls=1)]
+        )
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_start_requires_main(self, libc):
+        spec = ProgramSpec(name="d", functions=[FunctionSpec("lonely")])
+        with pytest.raises(ToolchainError):
+            Compiler().compile(spec)
+
+    def test_bad_data_object(self):
+        with pytest.raises(ValueError):
+            DataObject("x", 8, init=b"123456789")
+        with pytest.raises(ValueError):
+            DataObject("x", 8, pointers=[(4, "sym")])  # unaligned/overflow

@@ -1,0 +1,90 @@
+"""Cross-cutting determinism: the whole stack is a pure function of seeds.
+
+Determinism is what makes the evaluation reproducible bit-for-bit and the
+mutual-trust measurement predictable; these tests pin it at every layer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PolicyRegistry, expected_mrenclave
+from repro.core.policies import LibraryLinkingPolicy
+from repro.crypto import HmacDrbg, generate_keypair
+from repro.sgx import CycleMeter, SgxMachine, SgxParams
+from repro.toolchain import Compiler, CompilerFlags, build_libc, link
+from tests.conftest import make_demo_spec
+
+
+class TestSeededDeterminism:
+    def test_rsa_keygen(self):
+        a = generate_keypair(512, HmacDrbg(b"k"))
+        b = generate_keypair(512, HmacDrbg(b"k"))
+        assert a == b
+
+    def test_libc_hash_db_stable(self, libc):
+        again = build_libc("1.0.5")
+        assert again.reference_hashes() == libc.reference_hashes()
+
+    def test_compiled_program_bytes_stable(self, libc):
+        a = link(Compiler(CompilerFlags(True, True)).compile(make_demo_spec("d1")), libc)
+        b = link(Compiler(CompilerFlags(True, True)).compile(make_demo_spec("d1")), libc)
+        assert a.elf == b.elf
+        assert a.symbols == b.symbols
+
+    def test_program_name_seeds_bodies(self, libc):
+        a = link(Compiler().compile(make_demo_spec("alpha")), libc)
+        b = link(Compiler().compile(make_demo_spec("beta")), libc)
+        # same shape, different generated bodies
+        assert a.elf != b.elf
+
+    def test_expected_mrenclave_stable(self, libc):
+        policies = PolicyRegistry([LibraryLinkingPolicy(libc.reference_hashes())])
+        kwargs = dict(heap_pages=16, client_pages=8, enclave_pages=0x1000)
+        assert expected_mrenclave(policies, **kwargs) == expected_mrenclave(
+            policies, **kwargs
+        )
+
+    def test_mrenclave_sensitive_to_every_shape_knob(self, libc):
+        policies = PolicyRegistry([LibraryLinkingPolicy(libc.reference_hashes())])
+        base = expected_mrenclave(
+            policies, heap_pages=16, client_pages=8, enclave_pages=0x1000
+        )
+        assert base != expected_mrenclave(
+            policies, heap_pages=17, client_pages=8, enclave_pages=0x1000
+        )
+        assert base != expected_mrenclave(
+            policies, heap_pages=16, client_pages=9, enclave_pages=0x1000
+        )
+        assert base != expected_mrenclave(
+            policies, heap_pages=16, client_pages=8, enclave_pages=0x1001
+        )
+
+    def test_machine_seed_changes_keys_not_measurement(self):
+        def build(seed):
+            m = SgxMachine(
+                SgxParams(epc_pages=8, heap_initial_pages=1),
+                hardware_seed=seed,
+            )
+            e = m.ecreate(0x10000, 0x10000)
+            m.add_measured_page(e, 0x10000, b"x")
+            m.einit(e)
+            return m, e
+
+        m1, e1 = build(b"machine-a")
+        m2, e2 = build(b"machine-b")
+        # measurement is machine-independent (a build recipe)...
+        assert e1.mrenclave == e2.mrenclave
+        # ...but the hardware-rooted report keys are not interchangeable
+        report = m1.ereport(e1, b"d")
+        assert not m2.verify_report(report)
+
+    def test_cycle_totals_stable_across_runs(self, libc, demo_plain):
+        from repro.core import Disassembler
+
+        def cycles():
+            meter = CycleMeter()
+            Disassembler(meter).run(demo_plain.elf)
+            return meter.total_cycles
+
+        assert cycles() == cycles()

@@ -1,0 +1,84 @@
+"""Synthetic musl: determinism, unit structure, hash database soundness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import sha256_fast
+from repro.toolchain import MUSL_FUNCTIONS, build_libc
+from repro.x86 import decode_all
+
+
+class TestBuild:
+    def test_deterministic(self, libc):
+        again = build_libc.__wrapped__("1.0.5") if hasattr(build_libc, "__wrapped__") \
+            else build_libc("1.0.5")
+        assert again.blob == libc.blob
+
+    def test_covers_all_names(self, libc):
+        assert {f.name for f in libc.functions} == set(MUSL_FUNCTIONS)
+        assert len(libc.offsets) == len(MUSL_FUNCTIONS)
+
+    def test_units_are_bundle_aligned(self, libc):
+        for fn in libc.functions:
+            assert len(fn.code) % 32 == 0, fn.name
+        for name, off in libc.offsets.items():
+            assert off % 32 == 0, name
+
+    def test_blob_is_concatenation_of_units(self, libc):
+        assert libc.blob == b"".join(f.code for f in libc.functions)
+
+    def test_units_decode_fully(self, libc):
+        for fn in libc.functions[:40]:
+            insns = decode_all(fn.code)
+            assert insns, fn.name
+            assert insns[-1].end == len(fn.code)
+            assert len(insns) == fn.insn_count, fn.name
+
+    def test_insn_count_total(self, libc):
+        assert libc.insn_count == sum(f.insn_count for f in libc.functions)
+
+    def test_units_are_call_free(self, libc):
+        # leaf property: no callq anywhere (what makes GC hash-stable)
+        for fn in libc.functions[:60]:
+            assert not any(i.mnemonic == "callq" for i in decode_all(fn.code)), fn.name
+
+    def test_big_functions_are_big(self, libc):
+        printf = libc.function("printf")
+        memcmp = libc.function("memcmp")
+        assert printf.insn_count > 5 * memcmp.insn_count
+
+
+class TestVersions:
+    def test_versions_differ_everywhere(self, libc, libc_old):
+        new = libc.reference_hashes()
+        old = libc_old.reference_hashes()
+        assert set(new) == set(old)
+        assert all(new[k] != old[k] for k in new)
+
+    def test_version_metadata(self, libc, libc_old):
+        assert libc.version == "1.0.5"
+        assert libc_old.version == "1.0.4"
+
+
+class TestHashDatabase:
+    def test_hashes_match_units(self, libc):
+        db = libc.reference_hashes()
+        for fn in libc.functions[:50]:
+            assert db[fn.name] == sha256_fast(fn.code)
+
+    def test_closure_is_subset_in_canonical_order(self, libc):
+        roots = ["printf", "memcpy", "abort"]
+        closure = libc.closure(roots)
+        assert set(closure) == set(roots)
+        canonical = [f.name for f in libc.functions]
+        assert closure == [n for n in canonical if n in set(roots)]
+
+    def test_closure_unknown_root(self, libc):
+        with pytest.raises(KeyError):
+            libc.closure(["not_a_libc_function"])
+
+    def test_function_lookup(self, libc):
+        assert libc.function("memcpy").name == "memcpy"
+        with pytest.raises(KeyError):
+            libc.function("nope")

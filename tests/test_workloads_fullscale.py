@@ -1,0 +1,39 @@
+"""Full-scale #Inst calibration checks for the remaining benchmarks.
+
+The bench suite asserts the Figure-3 counts for all seven at full scale;
+these tests pin the two cheapest full-scale builds in the regular test
+run too (marked slow), so a calibration regression is caught by
+``pytest tests/`` without running the whole benchmark suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.tables import PAPER_DATA
+from repro.toolchain.workloads import PROFILES, build_workload
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ["mcf", "bzip2"])
+def test_fullscale_plain_insn_count(name, libc):
+    binary = build_workload(name, scale=1.0, libc=libc)
+    target = PROFILES[name].target_insns
+    assert abs(binary.insn_count - target) <= max(target // 1000, 10)
+
+
+@pytest.mark.slow
+def test_fullscale_instrumented_counts_grow_like_the_paper(libc):
+    plain = build_workload("mcf", scale=1.0, libc=libc)
+    sp = build_workload("mcf", scale=1.0, stack_protector=True, libc=libc)
+    ifcc = build_workload("mcf", scale=1.0, ifcc=True, libc=libc)
+    paper_plain = PAPER_DATA[3]["mcf"][0]
+    paper_sp = PAPER_DATA[4]["mcf"][0]
+    paper_ifcc = PAPER_DATA[5]["mcf"][0]
+    # stack protection adds ~the paper's delta; mcf has no indirect calls
+    # so the IFCC build is identical — exactly as in the paper's Figure 5.
+    assert sp.insn_count > plain.insn_count
+    assert abs((sp.insn_count - plain.insn_count)
+               - (paper_sp - paper_plain)) < 120
+    assert ifcc.insn_count == plain.insn_count
+    assert paper_ifcc == paper_plain

@@ -1,0 +1,127 @@
+"""Workload generation and the figure-regeneration harness (scaled down)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import POLICY_SETUPS, run_cell
+from repro.harness.tables import PAPER_DATA, render_comparison, render_figure
+from repro.toolchain.workloads import PAPER_BENCHMARKS, PROFILES, build_workload
+
+SCALE = 0.05  # shapes preserved, fast enough for the test suite
+
+
+class TestProfiles:
+    def test_all_paper_benchmarks_present(self):
+        assert set(PAPER_BENCHMARKS) == set(PROFILES)
+        assert len(PAPER_BENCHMARKS) == 7
+
+    def test_targets_match_figure3(self):
+        for name, profile in PROFILES.items():
+            assert profile.target_insns == PAPER_DATA[3][name][0]
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            build_workload("quake3")
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", PAPER_BENCHMARKS)
+    def test_builds_and_validates(self, name, libc):
+        from repro.elf import read_elf
+        from repro.x86 import decode_all, validate
+
+        binary = build_workload(name, scale=SCALE, libc=libc)
+        img = read_elf(binary.elf)
+        text = img.text_sections[0]
+        insns = decode_all(text.data)
+        assert len(insns) == binary.insn_count
+        validate(
+            insns,
+            entry=binary.entry_vaddr - text.vaddr,
+            roots=[s.value - text.vaddr for s in img.function_symbols()],
+        )
+
+    def test_deterministic(self, libc):
+        a = build_workload("mcf", scale=SCALE, libc=libc)
+        b = build_workload("mcf", scale=SCALE, libc=libc)
+        assert a.elf == b.elf
+
+    def test_instrumentation_grows_counts(self, libc):
+        plain = build_workload("otp-gen", scale=SCALE, libc=libc)
+        sp = build_workload("otp-gen", scale=SCALE, stack_protector=True, libc=libc)
+        assert sp.insn_count > plain.insn_count
+
+    def test_full_scale_calibration_hits_target(self, libc):
+        # mcf is the smallest full-scale benchmark; 0.1% tolerance
+        binary = build_workload("mcf", scale=1.0, libc=libc)
+        target = PROFILES["mcf"].target_insns
+        assert abs(binary.insn_count - target) <= max(target // 1000, 10)
+
+    def test_nginx_has_the_most_relocations(self, libc):
+        relocs = {
+            name: build_workload(name, scale=SCALE, libc=libc).relocation_count
+            for name in ("nginx", "bzip2", "graph500")
+        }
+        assert relocs["nginx"] > relocs["bzip2"]
+        assert relocs["nginx"] > relocs["graph500"]
+
+
+class TestHarness:
+    @pytest.mark.parametrize("policy", list(POLICY_SETUPS))
+    def test_cell_accepts_compliant_workload(self, policy):
+        cell = run_cell("mcf", policy, scale=SCALE)
+        assert cell.accepted
+        assert cell.disassembly_cycles > 0
+        assert cell.policy_cycles > 0
+        assert cell.loading_cycles > 0
+
+    def test_policy_ordering_shape(self):
+        """IFCC checking is orders cheaper than library-linking — the
+        headline shape difference between Figures 3 and 5."""
+        lib = run_cell("mcf", "library-linking", scale=SCALE)
+        ifcc = run_cell("mcf", "indirect-function-call", scale=SCALE)
+        assert lib.policy_cycles > 5 * ifcc.policy_cycles
+
+    def test_loading_is_cheapest_phase(self):
+        cell = run_cell("mcf", "library-linking", scale=SCALE)
+        assert cell.loading_cycles < cell.disassembly_cycles
+        assert cell.loading_cycles < cell.policy_cycles
+
+    def test_tables_render(self):
+        cell = run_cell("mcf", "library-linking", scale=SCALE)
+        table = render_figure([cell], "Figure 3 (scaled)")
+        assert "429.mcf" in table and f"{cell.insn_count:,}" in table
+        comparison = render_comparison([cell], figure=3)
+        assert "ratio" in comparison
+
+    def test_paper_data_is_complete(self):
+        for figure, rows in PAPER_DATA.items():
+            assert set(rows) == set(PAPER_BENCHMARKS)
+            for row in rows.values():
+                assert len(row) == 4 and all(v > 0 for v in row)
+
+
+class TestExport:
+    def test_json_with_ratios(self):
+        import json
+
+        from repro.harness import cells_to_json
+
+        cell = run_cell("mcf", "library-linking", scale=SCALE)
+        payload = json.loads(cells_to_json([cell], figure=3))
+        row = payload["cells"][0]
+        assert row["benchmark"] == "mcf"
+        assert row["paper"]["insn_count"] == PAPER_DATA[3]["mcf"][0]
+        assert 0 < row["ratios"]["loading_cycles"] < 10
+
+    def test_csv_roundtrip(self):
+        import csv
+        import io
+
+        from repro.harness import cells_to_csv
+
+        cell = run_cell("mcf", "indirect-function-call", scale=SCALE)
+        rows = list(csv.DictReader(io.StringIO(cells_to_csv([cell]))))
+        assert rows[0]["benchmark"] == "mcf"
+        assert int(rows[0]["policy_cycles"]) == cell.policy_cycles

@@ -1,0 +1,183 @@
+"""Assembler (labels, bundling, fixups) and the NaCl validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EncodeError, ValidationError
+from repro.x86 import (
+    BUNDLE_SIZE, RAX, RCX, RSP,
+    Assembler, Enc, Mem, decode_all, validate,
+    check_bundles, check_reachability, check_targets,
+)
+
+
+class TestLabels:
+    def test_backward_branch(self):
+        asm = Assembler()
+        loop = asm.label("loop")
+        asm.mov_imm(10, RCX)
+        asm.bind(loop)
+        asm.alu_imm("sub", 1, RCX)
+        asm.jcc_label("jne", loop)
+        code = asm.finish()
+        insns = decode_all(code)
+        jne = [i for i in insns if i.mnemonic == "jne"][0]
+        sub = [i for i in insns if i.mnemonic == "sub"][0]
+        assert jne.target == sub.offset
+
+    def test_forward_branch(self):
+        asm = Assembler()
+        done = asm.label("done")
+        asm.jmp_label(done)
+        asm.mov_imm(1, RAX)
+        asm.bind(done)
+        asm.ret()
+        insns = decode_all(asm.finish())
+        jmp = insns[0]
+        ret = [i for i in insns if i.mnemonic == "ret"][0]
+        assert jmp.target == ret.offset
+
+    def test_unbound_label_rejected(self):
+        asm = Assembler()
+        lbl = asm.label("never")
+        asm.jmp_label(lbl)
+        with pytest.raises(EncodeError):
+            asm.finish()
+
+    def test_double_bind_rejected(self):
+        asm = Assembler()
+        lbl = asm.label("once")
+        asm.bind(lbl)
+        with pytest.raises(EncodeError):
+            asm.bind(lbl)
+
+
+class TestBundling:
+    def test_no_instruction_crosses_bundle(self):
+        asm = Assembler()
+        for i in range(100):
+            asm.mov_imm(0x1122334455667788, RAX)  # 10-byte movabs
+        insns = decode_all(asm.finish())
+        check_bundles(insns)  # must not raise
+
+    def test_bundling_disabled(self):
+        asm = Assembler(bundle=False)
+        for i in range(10):
+            asm.mov_imm(0x1122334455667788, RAX)
+        insns = decode_all(asm.finish())
+        with pytest.raises(ValidationError):
+            check_bundles(insns)
+
+    def test_align_starts_fresh_bundle(self):
+        asm = Assembler()
+        asm.push(RAX)
+        asm.align()
+        assert asm.offset % BUNDLE_SIZE == 0
+        marker = asm.offset
+        asm.ret()
+        insns = decode_all(asm.finish())
+        assert any(i.offset == marker and i.mnemonic == "ret" for i in insns)
+
+    def test_instruction_count_tracks_padding(self):
+        asm = Assembler()
+        asm.push(RAX)
+        asm.align()
+        asm.ret()
+        code = asm.finish()
+        assert asm.instruction_count == len(decode_all(code))
+
+
+class TestExternalFixups:
+    def test_call_symbol_records_fixup(self):
+        asm = Assembler()
+        asm.call_symbol("memcpy")
+        asm.ret()
+        asm.finish()
+        (fx,) = asm.external_fixups
+        assert fx.symbol == "memcpy"
+        assert fx.next_offset - fx.patch_offset == 4
+
+    def test_lea_symbol_addend(self):
+        asm = Assembler()
+        asm.lea_symbol("table", RAX, addend=16)
+        asm.finish()
+        (fx,) = asm.external_fixups
+        assert fx.addend == 16
+
+    def test_mov_symbol_load(self):
+        asm = Assembler()
+        asm.mov_load_symbol("slot", RCX)
+        code = asm.finish()
+        insns = decode_all(code)
+        assert insns[0].mnemonic == "mov"
+        assert insns[0].operands[0].rip_relative
+
+
+class TestValidator:
+    def _linear(self):
+        asm = Assembler()
+        asm.mov_imm(1, RAX)
+        asm.ret()
+        return decode_all(asm.finish())
+
+    def test_valid_code_passes(self):
+        validate(self._linear())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            validate([])
+
+    def test_branch_into_middle_of_instruction(self):
+        # jmp +3 lands inside the 5-byte mov imm32
+        code = Enc.jmp_rel8(3) + Enc.mov_imm(7, RAX.as_bits(32)) + Enc.ret()
+        insns = decode_all(code)
+        with pytest.raises(ValidationError):
+            check_targets(insns)
+
+    def test_branch_outside_region(self):
+        code = Enc.jmp_rel32(0x1000) + Enc.ret()
+        insns = decode_all(code)
+        with pytest.raises(ValidationError):
+            check_targets(insns)
+
+    def test_unreachable_code_detected(self):
+        # ret; mov — the mov can never execute and is not padding
+        code = Enc.ret() + Enc.mov_imm(1, RAX)
+        insns = decode_all(code)
+        with pytest.raises(ValidationError):
+            check_reachability(insns, entry=0)
+
+    def test_padding_after_terminator_allowed(self):
+        code = Enc.ret() + Enc.nop(3) + Enc.nop(1)
+        insns = decode_all(code)
+        check_reachability(insns, entry=0)
+
+    def test_roots_make_code_reachable(self):
+        # two functions: entry returns; second reachable only via its symbol
+        first = Enc.ret()
+        code = first + Enc.mov_imm(1, RAX) + Enc.ret()
+        insns = decode_all(code)
+        with pytest.raises(ValidationError):
+            check_reachability(insns, entry=0)
+        check_reachability(insns, entry=0, roots=[len(first)])
+
+    def test_bad_entry_rejected(self):
+        insns = self._linear()
+        with pytest.raises(ValidationError):
+            check_reachability(insns, entry=1)
+
+    def test_call_fallthrough_is_reachable(self):
+        code = Enc.call_rel32(1) + Enc.ret() + Enc.ret()
+        insns = decode_all(code)
+        validate(insns)
+
+    def test_conditional_branch_both_paths(self):
+        asm = Assembler()
+        skip = asm.label("skip")
+        asm.alu_imm("cmp", 0, RAX)
+        asm.jcc_label("je", skip)
+        asm.mov_imm(1, RAX)
+        asm.bind(skip)
+        asm.ret()
+        validate(decode_all(asm.finish()))

@@ -1,0 +1,182 @@
+"""Decoder: paper sequences, metadata, operand structure, error paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DecodeError
+from repro.x86 import (
+    EAX, ECX, RAX, RCX, RSP,
+    Enc, Imm, Mem, Reg, decode_all, decode_one,
+)
+
+
+class TestPaperSequences:
+    def test_stack_protector_idiom(self):
+        code = (
+            Enc.mov_load(Mem(seg="fs", disp=0x28), RAX)
+            + Enc.mov_store(RAX, Mem(base=RSP))
+            + Enc.alu_load("cmp", Mem(base=RSP), RAX)
+            + Enc.jcc_rel8("jne", 5)
+        )
+        insns = decode_all(code)
+        assert [i.mnemonic for i in insns] == ["mov", "mov", "cmp", "jne"]
+        assert insns[0].reads_fs_offset(0x28)
+        load_src, load_dst = insns[0].operands
+        assert isinstance(load_src, Mem) and load_src.seg == "fs"
+        assert isinstance(load_dst, Reg) and load_dst.num == 0
+        assert insns[3].target == insns[3].end + 5
+
+    def test_ifcc_idiom(self):
+        code = (
+            Enc.lea(Mem(rip_relative=True, disp=0x85C70), RAX)
+            + Enc.alu_rr("sub", EAX, ECX)
+            + Enc.alu_imm("and", 0x1FF8, RCX)
+            + Enc.alu_rr("add", RAX, RCX)
+            + Enc.call_rm(RCX)
+        )
+        insns = decode_all(code)
+        assert [i.mnemonic for i in insns] == ["lea", "sub", "and", "add", "callq"]
+        lea_mem = insns[0].operands[0]
+        assert lea_mem.rip_relative and lea_mem.disp == 0x85C70
+        sub_src, sub_dst = insns[1].operands
+        assert sub_src.bits == 32 and sub_dst.bits == 32
+        and_imm = insns[2].operands[0]
+        assert isinstance(and_imm, Imm) and and_imm.value == 0x1FF8
+        assert insns[4].is_indirect_call and not insns[4].is_direct_call
+
+    def test_jump_table_entry(self):
+        code = Enc.jmp_rel32(0x100) + Enc.nop(3)
+        insns = decode_all(code)
+        assert insns[0].mnemonic == "jmpq" and insns[0].is_direct_jump
+        assert insns[0].length == 5
+        assert insns[1].mnemonic == "nopl" and insns[1].length == 3
+
+
+class TestMetadata:
+    def test_nacl_byte_counts(self):
+        insn = decode_one(Enc.mov_load(Mem(seg="fs", disp=0x28), RAX), 0)
+        assert insn.num_prefix_bytes == 2      # fs override + REX.W
+        assert insn.num_opcode_bytes == 1
+        assert insn.num_displacement_bytes == 4
+        assert insn.num_immediate_bytes == 0
+        assert insn.has_modrm
+
+    def test_imm_counting(self):
+        insn = decode_one(Enc.mov_imm(0x11223344556677, RAX), 0)
+        assert insn.num_immediate_bytes == 8
+        insn = decode_one(Enc.alu_imm("sub", 8, RSP), 0)
+        assert insn.num_immediate_bytes == 1
+
+    def test_call_rel_counted_as_immediate(self):
+        insn = decode_one(Enc.call_rel32(0x10), 0)
+        assert insn.num_immediate_bytes == 4
+        assert insn.is_direct_call and insn.target == 5 + 0x10
+
+    def test_length_and_end(self):
+        code = Enc.push(RAX) + Enc.ret()
+        insns = decode_all(code)
+        assert insns[0].length == 1 and insns[0].end == 1
+        assert insns[1].offset == 1
+
+
+class TestOperandStructure:
+    def test_att_order_store(self):
+        insn = decode_one(Enc.mov_store(RAX, Mem(base=RSP, disp=16)), 0)
+        src, dst = insn.operands
+        assert isinstance(src, Reg) and isinstance(dst, Mem)
+        assert dst.disp == 16 and dst.base.num == 4
+
+    def test_att_order_load(self):
+        insn = decode_one(Enc.mov_load(Mem(base=RSP, disp=16), RAX), 0)
+        src, dst = insn.operands
+        assert isinstance(src, Mem) and isinstance(dst, Reg)
+
+    def test_negative_displacement(self):
+        insn = decode_one(Enc.mov_store(RAX, Mem(base=RSP, disp=-8)), 0)
+        assert insn.operands[1].disp == -8
+
+    def test_width_from_rex(self):
+        assert decode_one(Enc.mov_rr(RAX, RCX), 0).operands[0].bits == 64
+        assert decode_one(Enc.mov_rr(EAX, ECX), 0).operands[0].bits == 32
+
+    def test_sib_decoding(self):
+        insn = decode_one(Enc.mov_load(Mem(base=RAX, index=RCX, scale=4), RSP), 0)
+        mem = insn.operands[0]
+        assert mem.base.num == 0 and mem.index.num == 1 and mem.scale == 4
+
+    def test_group_opcodes(self):
+        assert decode_one(Enc.unary("neg", RAX), 0).mnemonic == "neg"
+        assert decode_one(Enc.unary("div", RCX), 0).mnemonic == "div"
+        assert decode_one(Enc.incdec("inc", RAX), 0).mnemonic == "inc"
+        assert decode_one(Enc.incdec("dec", RAX), 0).mnemonic == "dec"
+        assert decode_one(Enc.shift_imm("sar", 3, RAX), 0).mnemonic == "sar"
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(DecodeError):
+            decode_one(b"\x06", 0)  # push es: invalid in 64-bit mode
+
+    def test_truncated_instruction(self):
+        code = Enc.mov_imm(0x1122334455667788, RAX)
+        with pytest.raises(DecodeError):
+            decode_one(code[:-2], 0)
+
+    def test_truncated_modrm(self):
+        with pytest.raises(DecodeError):
+            decode_one(b"\x48\x8b", 0)
+
+    def test_duplicate_prefixes(self):
+        with pytest.raises(DecodeError):
+            decode_one(b"\x64\x64\x8b\x04\x25\x00\x00\x00\x00", 0)
+
+    def test_opsize_prefix_on_alu_rejected(self):
+        # 66 prefix is only accepted on the canonical NOP forms
+        with pytest.raises(DecodeError):
+            decode_one(b"\x66\x01\xc8", 0)
+
+    def test_lea_register_operand_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_one(b"\x48\x8d\xc1", 0)
+
+    def test_region_overrun(self):
+        code = Enc.call_rel32(0)
+        with pytest.raises(DecodeError):
+            decode_all(code[:3])
+
+
+class TestNops:
+    def test_all_canonical_nops_decode(self):
+        for n in range(1, 10):
+            insns = decode_all(Enc.nop(n))
+            assert len(insns) == 1
+            assert insns[0].mnemonic in ("nop", "nopl")
+            assert insns[0].length == n
+
+    def test_misc_opcodes(self):
+        for encoded, mnemonic in [
+            (Enc.ud2(), "ud2"), (Enc.int3(), "int3"), (Enc.hlt(), "hlt"),
+            (Enc.syscall(), "syscall"), (Enc.leave(), "leave"),
+        ]:
+            assert decode_one(encoded, 0).mnemonic == mnemonic
+
+
+class TestCmovXchgDecode:
+    def test_cmov_all_conditions_roundtrip(self):
+        from repro.x86 import RAX, RCX
+
+        for cond in ("o", "no", "b", "ae", "e", "ne", "be", "a",
+                     "s", "ns", "p", "np", "l", "ge", "le", "g"):
+            insn = decode_one(Enc.cmov(cond, RCX, RAX), 0)
+            assert insn.mnemonic == f"cmov{cond}"
+            assert insn.operands == (RCX, RAX)
+
+    def test_xchg_roundtrip(self):
+        from repro.x86 import RAX, RCX
+
+        insn = decode_one(Enc.xchg_rr(RAX, RCX), 0)
+        assert insn.mnemonic == "xchg"
+        insn = decode_one(Enc.xchg_rm(RAX, Mem(base=RSP, disp=8)), 0)
+        assert insn.mnemonic == "xchg"
+        assert insn.operands[1].disp == 8

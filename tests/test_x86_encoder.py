@@ -1,0 +1,182 @@
+"""Encoder byte-exactness, including every sequence quoted in the paper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EncodeError
+from repro.x86 import (
+    EAX, ECX, R8, R9, R12, R13, RAX, RBP, RCX, RDI, RSP,
+    Enc, Mem, Reg, reg_by_name,
+)
+
+
+class TestPaperSequences:
+    """The exact byte sequences from the paper's listings."""
+
+    def test_canary_load(self):
+        # 19311: mov %fs:0x28,%rax
+        assert Enc.mov_load(Mem(seg="fs", disp=0x28), RAX) == bytes.fromhex(
+            "64488b042528000000"
+        )
+
+    def test_canary_store(self):
+        # 1931a: mov %rax,(%rsp)
+        assert Enc.mov_store(RAX, Mem(base=RSP)) == bytes.fromhex("48890424")
+
+    def test_canary_compare(self):
+        # 19407: cmp (%rsp),%rax
+        assert Enc.alu_load("cmp", Mem(base=RSP), RAX) == bytes.fromhex("483b0424")
+
+    def test_ifcc_sub(self):
+        # 1b460: sub %eax,%ecx  (AT&T: src %eax in ModRM.reg, dst %ecx in rm)
+        assert Enc.alu_rr("sub", EAX, ECX) == bytes.fromhex("29c1")
+
+    def test_ifcc_mask(self):
+        # 1b462: and $0x1ff8,%rcx
+        assert Enc.alu_imm("and", 0x1FF8, RCX) == bytes.fromhex("4881e1f81f0000")
+
+    def test_ifcc_add(self):
+        # 1b469: add %rax,%rcx
+        assert Enc.alu_rr("add", RAX, RCX) == bytes.fromhex("4801c1")
+
+    def test_ifcc_indirect_call(self):
+        # 1b475: callq *%rcx
+        assert Enc.call_rm(RCX) == bytes.fromhex("ffd1")
+
+    def test_ifcc_lea(self):
+        # 1b459: lea 0x85c70(%rip),%rax
+        assert Enc.lea(Mem(rip_relative=True, disp=0x85C70), RAX) == bytes.fromhex(
+            "488d05705c0800"
+        )
+
+    def test_jump_table_nopl(self):
+        # a19d5: nopl (%rax)
+        assert Enc.nop(3) == bytes.fromhex("0f1f00")
+
+
+class TestMoves:
+    def test_mov_rr(self):
+        assert Enc.mov_rr(RAX, RCX) == bytes.fromhex("4889c1")
+        assert Enc.mov_rr(EAX, ECX) == bytes.fromhex("89c1")
+
+    def test_mov_rr_extended_regs(self):
+        assert Enc.mov_rr(R8, R9) == bytes.fromhex("4d89c1")
+
+    def test_mov_width_mismatch(self):
+        with pytest.raises(EncodeError):
+            Enc.mov_rr(RAX, ECX)
+
+    def test_mov_imm_small(self):
+        # fits in 32 bits -> C7 /0 sign-extended
+        assert Enc.mov_imm(42, RAX) == bytes.fromhex("48c7c02a000000")
+
+    def test_mov_imm_large(self):
+        # needs movabs (B8+r imm64)
+        encoded = Enc.mov_imm(0x1122334455667788, RAX)
+        assert encoded == bytes.fromhex("48b88877665544332211")
+
+    def test_mov_imm_32bit(self):
+        assert Enc.mov_imm(7, EAX) == bytes.fromhex("b807000000")
+
+    def test_mov_imm_negative(self):
+        assert Enc.mov_imm(-1, RAX) == bytes.fromhex("48c7c0ffffffff")
+
+    def test_mov_store_disp8(self):
+        assert Enc.mov_store(RAX, Mem(base=RSP, disp=8)) == bytes.fromhex("4889442408")
+
+    def test_mov_load_rbp(self):
+        # RBP base with zero disp still needs mod=01 disp8=0
+        assert Enc.mov_load(Mem(base=RBP), RAX) == bytes.fromhex("488b4500")
+
+    def test_r12_r13_special_cases(self):
+        # R12 needs SIB like RSP; R13 needs disp8 like RBP
+        assert Enc.mov_load(Mem(base=R12), RAX) == bytes.fromhex("498b0424")
+        assert Enc.mov_load(Mem(base=R13), RAX) == bytes.fromhex("498b4500")
+
+    def test_sib_scaled_index(self):
+        encoded = Enc.mov_load(Mem(base=RAX, index=RCX, scale=8), RDI)
+        assert encoded == bytes.fromhex("488b3cc8")
+
+    def test_rsp_cannot_be_index(self):
+        with pytest.raises(EncodeError):
+            Enc.mov_load(Mem(base=RAX, index=RSP), RDI)
+
+    def test_lea_rejects_segment(self):
+        with pytest.raises(EncodeError):
+            Enc.lea(Mem(seg="fs", disp=0x28), RAX)
+
+
+class TestAluAndMisc:
+    def test_alu_imm8_form(self):
+        # small immediates use the 0x83 sign-extended form
+        assert Enc.alu_imm("sub", 8, RSP) == bytes.fromhex("4883ec08")
+        assert Enc.alu_imm("add", 8, RSP) == bytes.fromhex("4883c408")
+
+    def test_alu_imm32_form(self):
+        assert Enc.alu_imm("cmp", 0x1000, RAX) == bytes.fromhex("483d00100000") or \
+            Enc.alu_imm("cmp", 0x1000, RAX) == bytes.fromhex("4881f800100000")
+
+    def test_unknown_alu(self):
+        with pytest.raises(EncodeError):
+            Enc.alu_rr("frobnicate", RAX, RCX)
+
+    def test_push_pop(self):
+        assert Enc.push(RAX) == b"\x50"
+        assert Enc.pop(RCX) == b"\x59"
+        assert Enc.push(R8) == bytes.fromhex("4150")
+        assert Enc.pop(R13) == bytes.fromhex("415d")
+
+    def test_shifts(self):
+        assert Enc.shift_imm("shl", 4, RAX) == bytes.fromhex("48c1e004")
+        with pytest.raises(EncodeError):
+            Enc.shift_imm("shl", 64, RAX)
+        with pytest.raises(EncodeError):
+            Enc.shift_imm("rol", 1, RAX)
+
+    def test_control_flow(self):
+        assert Enc.call_rel32(0) == bytes.fromhex("e800000000")
+        assert Enc.jmp_rel32(-5) == bytes.fromhex("e9fbffffff")
+        assert Enc.jmp_rel8(2) == bytes.fromhex("eb02")
+        assert Enc.jcc_rel8("jne", 0x12) == bytes.fromhex("7512")
+        assert Enc.jcc_rel32("je", 0x100) == bytes.fromhex("0f8400010000")
+        assert Enc.ret() == b"\xc3"
+
+    def test_jcc_aliases(self):
+        assert Enc.jcc_rel8("jz", 0) == Enc.jcc_rel8("je", 0)
+        with pytest.raises(EncodeError):
+            Enc.jcc_rel8("jxx", 0)
+
+    def test_nops_are_canonical_lengths(self):
+        for n in range(1, 10):
+            assert len(Enc.nop(n)) == n
+        with pytest.raises(EncodeError):
+            Enc.nop(10)
+
+    def test_nop_pad_any_length(self):
+        for n in range(1, 60):
+            assert len(Enc.nop_pad(n)) == n
+
+    def test_imul(self):
+        assert Enc.imul_rr(RCX, RAX) == bytes.fromhex("480fafc1")
+
+    def test_test(self):
+        assert Enc.test_rr(RAX, RAX) == bytes.fromhex("4885c0")
+
+
+def test_reg_by_name():
+    assert reg_by_name("rax") == RAX
+    assert reg_by_name("%rsp") == RSP
+    assert reg_by_name("eax") == EAX
+    with pytest.raises(KeyError):
+        reg_by_name("xmm0")
+
+
+def test_reg_properties():
+    assert RAX.low3 == 0 and not RAX.needs_rex_bit
+    assert R8.low3 == 0 and R8.needs_rex_bit
+    assert RAX.as_bits(32) == EAX
+    with pytest.raises(ValueError):
+        Reg(16, 64)
+    with pytest.raises(ValueError):
+        Reg(0, 16)

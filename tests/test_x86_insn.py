@@ -1,0 +1,86 @@
+"""Instruction record: classification helpers and formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.x86 import Enc, Imm, Instruction, Mem, RAX, RCX, RSP, decode_one
+
+
+def insn(encoded: bytes) -> Instruction:
+    return decode_one(encoded, 0)
+
+
+class TestClassification:
+    def test_direct_vs_indirect_call(self):
+        direct = insn(Enc.call_rel32(0x10))
+        indirect = insn(Enc.call_rm(RCX))
+        assert direct.is_direct_call and not direct.is_indirect_call
+        assert indirect.is_indirect_call and not indirect.is_direct_call
+
+    def test_jumps(self):
+        direct = insn(Enc.jmp_rel32(8))
+        indirect = insn(Enc.jmp_rm(RAX))
+        assert direct.is_direct_jump and direct.is_terminator
+        assert indirect.is_indirect_jump and indirect.is_terminator
+
+    def test_conditional_branch_not_terminator(self):
+        jne = insn(Enc.jcc_rel8("jne", 2))
+        assert jne.is_conditional_branch
+        assert not jne.is_terminator
+        assert jne.is_control_transfer
+
+    def test_return(self):
+        ret = insn(Enc.ret())
+        assert ret.is_return and ret.is_terminator and ret.is_control_transfer
+
+    def test_plain_op_is_nothing_special(self):
+        mov = insn(Enc.mov_rr(RAX, RCX))
+        assert not mov.is_control_transfer
+        assert not mov.is_terminator
+        assert not mov.is_conditional_branch
+
+    def test_ud2_terminates(self):
+        assert insn(Enc.ud2()).is_terminator
+
+    def test_reads_fs_offset(self):
+        canary = insn(Enc.mov_load(Mem(seg="fs", disp=0x28), RAX))
+        assert canary.reads_fs_offset(0x28)
+        assert not canary.reads_fs_offset(0x30)
+        other = insn(Enc.mov_load(Mem(base=RSP, disp=0x28), RAX))
+        assert not other.reads_fs_offset(0x28)
+
+    def test_memory_operand_helper(self):
+        store = insn(Enc.mov_store(RAX, Mem(base=RSP, disp=8)))
+        assert store.memory_operand().disp == 8
+        assert insn(Enc.mov_rr(RAX, RCX)).memory_operand() is None
+
+
+class TestFormatting:
+    def test_str_includes_offset_and_mnemonic(self):
+        text = str(insn(Enc.mov_rr(RAX, RCX)))
+        assert "mov" in text and "%rax" in text and "%rcx" in text
+
+    def test_mem_formatting(self):
+        assert str(Mem(seg="fs", disp=0x28)) == "%fs:0x28"
+        assert str(Mem(base=RSP)) == "(%rsp)"
+        assert str(Mem(base=RSP, disp=16)) == "0x10(%rsp)"
+        assert str(Mem(rip_relative=True, disp=0x85C70)) == "0x85c70(%rip)"
+        assert "%rcx" in str(Mem(base=RAX, index=RCX, scale=8))
+
+    def test_imm_formatting(self):
+        assert str(Imm(0x1FF8, 4)) == "$0x1ff8"
+
+    def test_branch_target_formatting(self):
+        text = str(insn(Enc.call_rel32(0x100)))
+        assert "->" in text
+
+
+class TestMemValidation:
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            Mem(base=RAX, index=RCX, scale=3)
+
+    def test_rip_with_base_rejected(self):
+        with pytest.raises(ValueError):
+            Mem(rip_relative=True, base=RAX)

@@ -1,0 +1,176 @@
+"""Property-based encode->decode round-trip over the whole ISA subset."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.x86 import Enc, GPR32, GPR64, Imm, Mem, Reg, decode_one
+
+regs64 = st.sampled_from(GPR64)
+regs32 = st.sampled_from(GPR32)
+# index register cannot be %rsp
+index64 = st.sampled_from([r for r in GPR64 if r.num != 4])
+alu_ops = st.sampled_from(["add", "or", "and", "sub", "xor", "cmp"])
+disp8 = st.integers(-128, 127)
+disp32 = st.integers(-(1 << 31), (1 << 31) - 1)
+
+
+@st.composite
+def memory_operands(draw):
+    form = draw(st.integers(0, 4))
+    seg = draw(st.sampled_from([None, None, None, "fs", "gs"]))
+    if form == 0:
+        return Mem(rip_relative=True, disp=draw(disp32), seg=None)
+    if form == 1:
+        return Mem(disp=draw(disp32), seg=seg)  # absolute
+    if form == 2:
+        return Mem(base=draw(regs64), disp=draw(disp32), seg=seg)
+    if form == 3:
+        return Mem(
+            base=draw(regs64), index=draw(index64),
+            scale=draw(st.sampled_from([1, 2, 4, 8])),
+            disp=draw(disp8), seg=seg,
+        )
+    return Mem(
+        index=draw(index64), scale=draw(st.sampled_from([1, 2, 4, 8])),
+        disp=draw(disp32), seg=seg,
+    )
+
+
+def check(encoded: bytes, mnemonic: str, operands: tuple = None):
+    insn = decode_one(encoded, 0)
+    assert insn.raw == encoded
+    assert insn.length == len(encoded)
+    assert insn.mnemonic == mnemonic
+    if operands is not None:
+        assert insn.operands == operands
+    return insn
+
+
+@given(regs64, regs64)
+@settings(max_examples=80, deadline=None)
+def test_mov_rr(src, dst):
+    check(Enc.mov_rr(src, dst), "mov", (src, dst))
+
+
+@given(regs32, regs32)
+@settings(max_examples=40, deadline=None)
+def test_mov_rr_32(src, dst):
+    check(Enc.mov_rr(src, dst), "mov", (src, dst))
+
+
+@given(regs64, memory_operands())
+@settings(max_examples=200, deadline=None)
+def test_mov_store(src, mem):
+    insn = check(Enc.mov_store(src, mem), "mov")
+    decoded_src, decoded_mem = insn.operands
+    assert decoded_src == src
+    assert _mem_equal(decoded_mem, mem)
+
+
+@given(memory_operands(), regs64)
+@settings(max_examples=200, deadline=None)
+def test_mov_load(mem, dst):
+    insn = check(Enc.mov_load(mem, dst), "mov")
+    decoded_mem, decoded_dst = insn.operands
+    assert decoded_dst == dst
+    assert _mem_equal(decoded_mem, mem)
+
+
+@given(alu_ops, regs64, regs64)
+@settings(max_examples=150, deadline=None)
+def test_alu_rr(op, src, dst):
+    check(Enc.alu_rr(op, src, dst), op, (src, dst))
+
+
+@given(alu_ops, st.integers(-(1 << 31), (1 << 31) - 1), regs64)
+@settings(max_examples=150, deadline=None)
+def test_alu_imm(op, value, dst):
+    insn = check(Enc.alu_imm(op, value, dst), op)
+    imm, decoded_dst = insn.operands
+    assert isinstance(imm, Imm) and imm.value == value
+    assert decoded_dst == dst
+
+
+@given(memory_operands(), regs64)
+@settings(max_examples=100, deadline=None)
+def test_lea(mem, dst):
+    if mem.seg:  # lea refuses segment overrides
+        return
+    insn = check(Enc.lea(mem, dst), "lea")
+    assert _mem_equal(insn.operands[0], mem)
+
+
+@given(st.integers(-(1 << 63), (1 << 63) - 1), regs64)
+@settings(max_examples=150, deadline=None)
+def test_mov_imm64(value, dst):
+    insn = check(Enc.mov_imm(value, dst), "mov")
+    imm, decoded_dst = insn.operands
+    assert imm.value == value
+    assert decoded_dst == dst
+
+
+@given(regs64)
+@settings(max_examples=32, deadline=None)
+def test_push_pop(reg):
+    check(Enc.push(reg), "push", (reg,))
+    check(Enc.pop(reg), "pop", (reg,))
+
+
+@given(st.integers(-(1 << 31), (1 << 31) - 1))
+@settings(max_examples=80, deadline=None)
+def test_call_rel32(rel):
+    insn = check(Enc.call_rel32(rel), "callq")
+    assert insn.target == len(insn.raw) + rel
+
+
+@given(st.sampled_from(["je", "jne", "jl", "jge", "ja", "jbe", "js", "jo"]),
+       st.integers(-(1 << 31), (1 << 31) - 1))
+@settings(max_examples=100, deadline=None)
+def test_jcc_rel32(cond, rel):
+    insn = check(Enc.jcc_rel32(cond, rel), cond)
+    assert insn.target == len(insn.raw) + rel
+    assert insn.is_conditional_branch
+
+
+@given(st.sampled_from(["shl", "shr", "sar"]), st.integers(0, 63), regs64)
+@settings(max_examples=80, deadline=None)
+def test_shift(op, amount, dst)  :
+    insn = check(Enc.shift_imm(op, amount, dst), op)
+    assert insn.operands[0].value == amount
+
+
+@given(regs64, regs64)
+@settings(max_examples=60, deadline=None)
+def test_imul(src, dst):
+    check(Enc.imul_rr(src, dst), "imul", (src, dst))
+
+
+@given(regs64)
+@settings(max_examples=32, deadline=None)
+def test_indirect_call_jmp(reg):
+    insn = check(Enc.call_rm(reg), "callq", (reg,))
+    assert insn.is_indirect_call
+    insn = check(Enc.jmp_rm(reg), "jmpq", (reg,))
+    assert insn.is_indirect_jump
+
+
+def _mem_equal(decoded: Mem, original: Mem) -> bool:
+    """Encoding may canonicalise (e.g. scale-1 index-only), so compare the
+    addressing semantics rather than the dataclass fields blindly."""
+    if decoded.rip_relative != original.rip_relative:
+        return False
+    if decoded.seg != original.seg or decoded.disp != original.disp:
+        return False
+    base_num = original.base.num if original.base else None
+    dec_base = decoded.base.num if decoded.base else None
+    if base_num != dec_base:
+        return False
+    idx_num = original.index.num if original.index else None
+    dec_idx = decoded.index.num if decoded.index else None
+    if idx_num != dec_idx:
+        return False
+    if original.index is not None and decoded.scale != original.scale:
+        return False
+    return True
