@@ -6,6 +6,8 @@ Usage::
     python -m repro fig3 --scale 0.1
     python -m repro all --scale 1.0
     python -m repro demo            # one end-to-end provisioning run
+    python -m repro inspect-batch --policy stack-protection --workers 4 \
+        --repeats 3 --scale 0.1     # batched service + verdict cache
 """
 
 from __future__ import annotations
@@ -39,6 +41,13 @@ def _figure(policy: str, number: int, scale: float, json_path: str | None) -> No
     print(f"({time.time() - t0:.0f}s wall)")
 
 
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -46,8 +55,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=["fig2", "fig3", "fig4", "fig5", "all", "demo"],
-        help="which table/figure to regenerate",
+        choices=["fig2", "fig3", "fig4", "fig5", "all", "demo",
+                 "inspect-batch"],
+        help="which table/figure to regenerate, or 'inspect-batch' to "
+             "drive the batched inspection service",
     )
     parser.add_argument(
         "--scale", type=float, default=1.0,
@@ -58,7 +69,51 @@ def main(argv: list[str] | None = None) -> int:
         help="also write results as JSON (use FIG in the path as a "
              "placeholder for the figure number)",
     )
+    batch_group = parser.add_argument_group("inspect-batch options")
+    batch_group.add_argument(
+        "--policy", default="stack-protection",
+        choices=["library-linking", "stack-protection",
+                 "indirect-function-call"],
+        help="policy module the batch is checked against",
+    )
+    batch_group.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="pool size (default: cpu count, capped at 8)",
+    )
+    batch_group.add_argument(
+        "--mode", default="process",
+        choices=["process", "thread", "serial"],
+        help="execution backend for the batch",
+    )
+    batch_group.add_argument(
+        "--repeats", type=_positive_int, default=2,
+        help="times the fleet is re-submitted (passes after the first "
+             "hit the verdict cache)",
+    )
+    batch_group.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-binary inspection timeout in seconds",
+    )
     args = parser.parse_args(argv)
+
+    if args.target == "inspect-batch":
+        from .harness.runner import run_batch
+
+        report = run_batch(
+            args.policy,
+            scale=args.scale,
+            workers=args.workers,
+            mode=args.mode,
+            repeats=args.repeats,
+            timeout=args.timeout,
+        )
+        payload = report.to_json()
+        print(payload)
+        if args.json:
+            with open(args.json, "w") as fh:
+                fh.write(payload)
+            print(f"(wrote {args.json})", file=sys.stderr)
+        return 0 if report.summary.errors == 0 else 1
 
     if args.target == "demo":
         from . import quickstart_provision

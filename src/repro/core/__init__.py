@@ -6,7 +6,12 @@ protocol between a cloud provider and a client.
 """
 
 from .disasm import Disassembler, DisassemblyResult
-from .engarde import ENGARDE_VERSION, EnGarde, InspectionOutcome
+from .engarde import (
+    ENGARDE_VERSION,
+    EnGarde,
+    InspectionOutcome,
+    static_text_pages,
+)
 from .funcid import RecognizedFunctions, recognize_functions
 from .loader import LoadedImage, Loader
 from .policies import IfccPolicy, LibraryLinkingPolicy, StackProtectionPolicy
@@ -33,7 +38,7 @@ from .runtime import (
 )
 
 __all__ = [
-    "EnGarde", "InspectionOutcome", "ENGARDE_VERSION",
+    "EnGarde", "InspectionOutcome", "ENGARDE_VERSION", "static_text_pages",
     "Disassembler", "DisassemblyResult",
     "Loader", "LoadedImage",
     "PolicyModule", "PolicyRegistry", "PolicyResult", "PolicyContext",

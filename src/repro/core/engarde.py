@@ -22,9 +22,30 @@ from .loader import LoadedImage, Loader
 from .policy import PolicyRegistry, PolicyResult
 from .report import ComplianceReport
 
-__all__ = ["EnGarde", "InspectionOutcome", "ENGARDE_VERSION"]
+__all__ = [
+    "EnGarde", "InspectionOutcome", "ENGARDE_VERSION", "static_text_pages",
+]
 
 ENGARDE_VERSION = "1.0"
+
+
+def static_text_pages(image) -> list[int]:
+    """Page-aligned vaddrs of every byte of executable text in *image*.
+
+    The normal pipeline guarantees exactly one text section by the time
+    this runs, but the report boundary must not assume it: an image with
+    several text sections reports the union of their pages, and one with
+    no (non-empty) text contributes nothing — the caller rejects rather
+    than emit a compliant report with no code pages.
+    """
+    pages: set[int] = set()
+    for text in image.text_sections:
+        if not text.data:
+            continue
+        pages.update(range(
+            text.vaddr & ~0xFFF, text.vaddr + len(text.data), 4096
+        ))
+    return sorted(pages)
 
 
 @dataclass
@@ -98,10 +119,15 @@ class EnGarde:
             )
         # The report's executable-page list is finalised by the loader; the
         # static-only path reports the image's own text pages.
-        text = disasm.image.text_sections[0]
-        pages = list(range(
-            text.vaddr & ~0xFFF, text.vaddr + len(text.data), 4096
-        ))
+        pages = static_text_pages(disasm.image)
+        if not pages:
+            return InspectionOutcome(
+                report=ComplianceReport.rejected(
+                    benchmark, policy_names, stage="no-text"
+                ),
+                disassembly=disasm,
+                policy_results=results,
+            )
         return InspectionOutcome(
             report=ComplianceReport.accepted(benchmark, policy_names, pages),
             disassembly=disasm,

@@ -26,7 +26,10 @@ from ..toolchain import LinkedBinary, build_libc
 from ..toolchain.libc import LibcBuild
 from ..toolchain.workloads import PAPER_BENCHMARKS, build_workload
 
-__all__ = ["CellResult", "run_cell", "run_figure", "POLICY_SETUPS", "PAPER_BENCHMARKS"]
+__all__ = [
+    "CellResult", "run_cell", "run_figure", "POLICY_SETUPS", "PAPER_BENCHMARKS",
+    "build_batch_corpus", "run_batch",
+]
 
 #: policy name -> (figure number, compiler flags needed for compliance)
 POLICY_SETUPS = {
@@ -143,3 +146,84 @@ def run_figure(
 def _pages_for(binary: LinkedBinary) -> int:
     total = binary.text_size + binary.data_size + binary.bss_size + 0x4000
     return (total + 4095) // 4096
+
+
+# ------------------------------------------------------------ batch service
+
+
+def build_batch_corpus(
+    policy_name: str,
+    *,
+    benchmarks: tuple[str, ...] = PAPER_BENCHMARKS,
+    scale: float | None = None,
+    libc: LibcBuild | None = None,
+    repeats: int = 1,
+) -> tuple[LibcBuild, list[tuple[str, bytes]]]:
+    """A provider-sized fleet built from the paper workloads.
+
+    Each benchmark contributes its policy-compliant build plus (where the
+    policy requires instrumentation) the uninstrumented build, which the
+    policy must reject.  *repeats* re-submits the whole fleet that many
+    times — byte-identical resubmissions, i.e. the cache's steady-state
+    workload.
+    """
+    setup = POLICY_SETUPS[policy_name]
+    libc = libc or build_libc()
+    fleet: list[tuple[str, bytes]] = []
+    for bench in benchmarks:
+        compliant = build_workload(
+            bench,
+            stack_protector=setup["stack_protector"],
+            ifcc=setup["ifcc"],
+            libc=libc,
+            scale=scale,
+        )
+        fleet.append((f"{bench}/compliant", compliant.elf))
+        if setup["stack_protector"] or setup["ifcc"]:
+            plain = build_workload(bench, libc=libc, scale=scale)
+            fleet.append((f"{bench}/plain", plain.elf))
+    corpus = [
+        (f"{label}#{r}", elf)
+        for r in range(max(repeats, 1))
+        for label, elf in fleet
+    ]
+    return libc, corpus
+
+
+def run_batch(
+    policy_name: str,
+    *,
+    benchmarks: tuple[str, ...] = PAPER_BENCHMARKS,
+    scale: float | None = None,
+    workers: int | None = None,
+    mode: str = "process",
+    repeats: int = 1,
+    cache_capacity: int = 1024,
+    timeout: float | None = None,
+    policy_options: dict | None = None,
+):
+    """Drive the batch inspection service over the paper workloads.
+
+    Returns the :class:`repro.service.BatchReport`; ``repeats > 1``
+    demonstrates the content-addressed cache (every pass after the first
+    is pure hits).
+    """
+    from ..service import BatchInspector
+
+    libc, corpus = build_batch_corpus(
+        policy_name,
+        benchmarks=benchmarks,
+        scale=scale,
+        repeats=repeats,
+    )
+    policies = PolicyRegistry([
+        make_policy(policy_name, libc, **(policy_options or {}))
+    ])
+    with BatchInspector(
+        policies,
+        workers=workers,
+        mode=mode,
+        cache_capacity=cache_capacity,
+        timeout=timeout,
+    ) as inspector:
+        return inspector.inspect_batch(corpus)

@@ -1,0 +1,23 @@
+"""Provider-side inspection service: batching, parallelism, memoization.
+
+The paper's pipeline inspects one binary per provisioning run.  This
+package is the scaling layer a cloud provider actually deploys: a
+content-addressed verdict cache (:mod:`repro.service.cache`), a parallel
+batch front-end with per-binary error isolation
+(:mod:`repro.service.batch`), and deterministic variant corpora for
+stress and differential testing (:mod:`repro.service.corpus`).
+
+The service never touches the pipeline itself — every verdict is still
+produced by :class:`repro.core.EnGarde`, and the differential tests hold
+the batch path byte-identical to the sequential baseline.
+"""
+
+from .batch import BatchInspector, BatchItemResult, BatchReport, BatchSummary
+from .cache import CacheStats, InspectionCache, cache_key
+from .corpus import VARIANT_KINDS, generate_variant_corpus
+
+__all__ = [
+    "BatchInspector", "BatchItemResult", "BatchReport", "BatchSummary",
+    "InspectionCache", "CacheStats", "cache_key",
+    "generate_variant_corpus", "VARIANT_KINDS",
+]

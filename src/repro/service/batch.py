@@ -1,0 +1,371 @@
+"""Batched, parallel front-end over the sequential :class:`EnGarde` core.
+
+The paper inspects one client binary per provisioning run; a provider
+inspecting a fleet wants to amortize.  :class:`BatchInspector` keeps the
+inspection pipeline untouched and adds the service layer around it:
+
+* fan-out over ``concurrent.futures`` workers — a **process** pool by
+  default because disassembly and policy checking are CPU-bound pure
+  Python (threads only help in the degenerate all-cache-hit case),
+* a content-addressed :class:`InspectionCache` consulted before any work
+  is dispatched, plus in-flight deduplication so a batch containing the
+  same bytes twice inspects them once,
+* per-binary error isolation: a malformed ELF produces a *rejected
+  report* (exactly as ``EnGarde.inspect`` does), an unexpected crash or
+  timeout produces an *errored item* — neither kills the batch,
+* deterministic output: results come back in submission order no matter
+  which worker finished first.
+
+Workers return ``ComplianceReport.serialize()`` bytes, not rich outcome
+objects: the wire form is cheap to pickle and guarantees the batch path
+can be compared byte-for-byte against the sequential baseline (the
+differential tests do exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+)
+from dataclasses import dataclass, field, replace
+
+from ..core.engarde import EnGarde
+from ..core.policy import PolicyRegistry
+from ..core.report import ComplianceReport
+from .cache import CacheKey, InspectionCache, cache_key
+
+__all__ = ["BatchInspector", "BatchItemResult", "BatchReport", "BatchSummary"]
+
+MODES = ("process", "thread", "serial")
+
+
+# ----------------------------------------------------------------- workers
+
+_WORKER_ENGARDE: EnGarde | None = None
+
+
+def _init_worker(policies: PolicyRegistry) -> None:
+    """Build one EnGarde per worker process (policies travel once)."""
+    global _WORKER_ENGARDE
+    _WORKER_ENGARDE = EnGarde(policies)
+
+
+def _pool_inspect(raw_elf: bytes) -> bytes:
+    return _WORKER_ENGARDE.inspect(raw_elf, benchmark="").report.serialize()
+
+
+def _fresh_inspect(policies: PolicyRegistry, raw_elf: bytes) -> bytes:
+    """Thread-mode task: a fresh EnGarde per call (CycleMeter phase
+    bookkeeping is not shareable across concurrent inspections)."""
+    return EnGarde(policies).inspect(raw_elf, benchmark="").report.serialize()
+
+
+# ----------------------------------------------------------------- results
+
+
+@dataclass(frozen=True)
+class BatchItemResult:
+    """Verdict (or failure) for one submitted binary."""
+
+    index: int
+    label: str
+    report: ComplianceReport | None
+    error: str | None = None
+    #: how the verdict was obtained
+    source: str = "inspected"        # inspected | cache | dedup | error
+
+    @property
+    def accepted(self) -> bool:
+        return self.report is not None and self.report.compliant
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.source == "cache"
+
+
+@dataclass
+class BatchSummary:
+    """Throughput and cache accounting for one batch."""
+
+    total: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    errors: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+    inspected: int = 0
+    wall_seconds: float = 0.0
+    workers: int = 1
+    mode: str = "process"
+    cache: dict = field(default_factory=dict)
+
+    @property
+    def binaries_per_second(self) -> float:
+        return self.total / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "cache_hits": self.cache_hits,
+            "deduplicated": self.deduplicated,
+            "inspected": self.inspected,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "binaries_per_second": round(self.binaries_per_second, 2),
+            "workers": self.workers,
+            "mode": self.mode,
+            "cache": dict(self.cache),
+        }
+
+
+@dataclass
+class BatchReport:
+    """Everything one :meth:`BatchInspector.inspect_batch` call produced."""
+
+    results: list[BatchItemResult]
+    summary: BatchSummary
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        payload = {
+            "summary": self.summary.as_dict(),
+            "results": [
+                {
+                    "index": r.index,
+                    "label": r.label,
+                    "accepted": r.accepted,
+                    "source": r.source,
+                    "error": r.error,
+                    "report": r.report.serialize().decode() if r.report else None,
+                }
+                for r in self.results
+            ],
+        }
+        return json.dumps(payload, indent=indent)
+
+
+# --------------------------------------------------------------- inspector
+
+
+class BatchInspector:
+    """Inspect fleets of binaries in parallel, with verdict memoization.
+
+    Parameters
+    ----------
+    policies:
+        The agreed policy set; folded into every cache key.
+    workers:
+        Pool size for ``process``/``thread`` modes (default: ``os.cpu_count()``
+        capped at 8).
+    mode:
+        ``"process"`` (default, real parallelism for the CPU-bound
+        pipeline), ``"thread"`` (useful when the cache absorbs most
+        requests), or ``"serial"`` (no pool — the differential baseline).
+    cache:
+        An :class:`InspectionCache` to share across inspectors, ``None``
+        to create a private one, or ``False`` to disable caching.
+    timeout:
+        Per-binary seconds to wait for a pooled verdict, measured from
+        when the batch starts collecting that binary's result; ``None``
+        waits forever.  Ignored in ``serial`` mode.
+    """
+
+    def __init__(
+        self,
+        policies: PolicyRegistry,
+        *,
+        workers: int | None = None,
+        mode: str = "process",
+        cache: InspectionCache | None | bool = None,
+        cache_capacity: int = 1024,
+        timeout: float | None = None,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.policies = policies
+        self.mode = mode
+        self.timeout = timeout
+        if workers is None:
+            import os
+
+            workers = min(os.cpu_count() or 1, 8)
+        self.workers = 1 if mode == "serial" else workers
+        if cache is False:
+            self.cache: InspectionCache | None = None
+        elif cache is None or cache is True:
+            self.cache = InspectionCache(cache_capacity)
+        else:
+            self.cache = cache
+        self._executor: ProcessPoolExecutor | ThreadPoolExecutor | None = None
+        self._serial_engarde: EnGarde | None = None
+
+    # -------------------------------------------------------------- pool
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            if self.mode == "process":
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_worker,
+                    initargs=(self.policies,),
+                )
+            else:
+                self._executor = ThreadPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def _submit(self, raw_elf: bytes) -> Future:
+        executor = self._ensure_executor()
+        if self.mode == "process":
+            return executor.submit(_pool_inspect, raw_elf)
+        return executor.submit(_fresh_inspect, self.policies, raw_elf)
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; the cache survives)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "BatchInspector":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- batch
+
+    def inspect_batch(self, binaries) -> BatchReport:
+        """Inspect ``[(label, raw_elf), ...]`` and return ordered results.
+
+        *binaries* may be any iterable of ``(label, bytes)`` pairs; bare
+        ``bytes`` items are accepted and labelled by position.
+        """
+        t0 = time.perf_counter()
+        items: list[tuple[str, bytes]] = []
+        for i, entry in enumerate(binaries):
+            if isinstance(entry, (bytes, bytearray)):
+                items.append((f"binary-{i}", bytes(entry)))
+            else:
+                label, raw = entry
+                items.append((str(label), raw))
+
+        summary = BatchSummary(
+            total=len(items), workers=self.workers, mode=self.mode
+        )
+        results: list[BatchItemResult | None] = [None] * len(items)
+
+        # Pass 1: answer from the cache; group the rest by content key so
+        # duplicate bytes inside one batch are inspected exactly once.
+        misses: dict[CacheKey, list[int]] = {}
+        keys: list[CacheKey | None] = [None] * len(items)
+        for i, (label, raw) in enumerate(items):
+            if not isinstance(raw, (bytes, bytearray)):
+                results[i] = BatchItemResult(
+                    index=i, label=label, report=None, source="error",
+                    error=f"expected bytes, got {type(raw).__name__}",
+                )
+                continue
+            key = cache_key(raw, self.policies)
+            keys[i] = key
+            if self.cache is not None:
+                cached = self.cache.get(key, benchmark=label)
+                if cached is not None:
+                    results[i] = BatchItemResult(
+                        index=i, label=label, report=cached, source="cache",
+                    )
+                    continue
+            misses.setdefault(key, []).append(i)
+
+        # Pass 2: run the unique misses (pooled or inline).
+        verdicts = (
+            self._run_serial(items, misses)
+            if self.mode == "serial"
+            else self._run_pooled(items, misses)
+        )
+
+        # Pass 3: fan verdicts back out to every index that wanted them,
+        # in submission order.
+        for key, indices in misses.items():
+            wire, error = verdicts[key]
+            report = (
+                ComplianceReport.deserialize(wire) if wire is not None else None
+            )
+            if report is not None and self.cache is not None:
+                self.cache.put(key, report)
+            for rank, i in enumerate(indices):
+                label = items[i][0]
+                if report is None:
+                    results[i] = BatchItemResult(
+                        index=i, label=label, report=None,
+                        source="error", error=error,
+                    )
+                else:
+                    results[i] = BatchItemResult(
+                        index=i, label=label,
+                        report=replace(report, benchmark=label),
+                        source="inspected" if rank == 0 else "dedup",
+                    )
+
+        final = [r for r in results if r is not None]
+        for r in final:
+            if r.error is not None:
+                summary.errors += 1
+            elif r.accepted:
+                summary.accepted += 1
+            else:
+                summary.rejected += 1
+            if r.source == "cache":
+                summary.cache_hits += 1
+            elif r.source == "dedup":
+                summary.deduplicated += 1
+            elif r.source == "inspected":
+                summary.inspected += 1
+        summary.wall_seconds = time.perf_counter() - t0
+        if self.cache is not None:
+            summary.cache = self.cache.stats().as_dict()
+        return BatchReport(results=final, summary=summary)
+
+    # ------------------------------------------------------------ drivers
+
+    def _run_serial(self, items, misses):
+        """Inline execution — the differential baseline, no pool at all."""
+        if self._serial_engarde is None:
+            self._serial_engarde = EnGarde(self.policies)
+        verdicts: dict[CacheKey, tuple[bytes | None, str | None]] = {}
+        for key, indices in misses.items():
+            raw = items[indices[0]][1]
+            try:
+                wire = self._serial_engarde.inspect(
+                    raw, benchmark=""
+                ).report.serialize()
+                verdicts[key] = (wire, None)
+            except Exception as exc:  # noqa: BLE001 — isolation boundary
+                verdicts[key] = (None, f"{type(exc).__name__}: {exc}")
+        return verdicts
+
+    def _run_pooled(self, items, misses):
+        """Fan unique misses out over the pool; collect with per-binary
+        timeout and per-binary exception isolation."""
+        futures: dict[CacheKey, Future] = {
+            key: self._submit(items[indices[0]][1])
+            for key, indices in misses.items()
+        }
+        verdicts: dict[CacheKey, tuple[bytes | None, str | None]] = {}
+        for key, future in futures.items():
+            try:
+                verdicts[key] = (future.result(timeout=self.timeout), None)
+            except FutureTimeoutError:
+                future.cancel()
+                verdicts[key] = (
+                    None, f"inspection exceeded {self.timeout}s timeout",
+                )
+            except Exception as exc:  # noqa: BLE001 — isolation boundary
+                verdicts[key] = (None, f"{type(exc).__name__}: {exc}")
+        return verdicts

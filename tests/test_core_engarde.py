@@ -98,3 +98,79 @@ class TestRegistry:
         registry = PolicyRegistry([AlwaysPass(), AlwaysFail()])
         assert len(registry) == 2
         assert registry.names() == ["always-pass", "always-fail"]
+
+
+class TestStaticTextPages:
+    """Regression: the static-report path assumed text_sections[0] exists.
+
+    `static_text_pages` must tolerate images with zero or multiple text
+    sections, and `inspect` must reject (never accept with an empty page
+    list) when an image somehow carries no text."""
+
+    @staticmethod
+    def _image(*sections):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(text_sections=list(sections))
+
+    @staticmethod
+    def _section(vaddr, size):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(vaddr=vaddr, data=b"\x90" * size)
+
+    def test_single_section_matches_previous_behaviour(self):
+        from repro.core import static_text_pages
+
+        image = self._image(self._section(0x1234, 0x2000))
+        assert static_text_pages(image) == [0x1000, 0x2000, 0x3000]
+
+    def test_multiple_sections_union_sorted_deduped(self):
+        from repro.core import static_text_pages
+
+        image = self._image(
+            self._section(0x5000, 0x1000),
+            self._section(0x1000, 0x1800),   # overlaps into page 0x2000
+            self._section(0x2000, 0x10),     # duplicate page
+        )
+        assert static_text_pages(image) == [0x1000, 0x2000, 0x5000]
+
+    def test_zero_or_empty_sections_yield_no_pages(self):
+        from repro.core import static_text_pages
+
+        assert static_text_pages(self._image()) == []
+        assert static_text_pages(self._image(self._section(0x1000, 0))) == []
+
+    def _engarde_with_stub_image(self, image):
+        """An EnGarde whose disassembler reports *image* — the only way a
+        zero/multi-text image can reach the report path, since the real
+        disassembler rejects those earlier."""
+        from repro.core import EnGarde, PolicyRegistry
+        from repro.core.disasm import DisassemblyResult
+        from repro.core.policy import SymbolHashTable
+
+        engarde = EnGarde(PolicyRegistry([AlwaysPass()]))
+        result = DisassemblyResult(
+            image=image,
+            instructions=[],
+            symtab=SymbolHashTable(engarde.meter),
+            text_vaddr=0,
+            buffer_pages_allocated=0,
+        )
+        engarde.disassembler.run = lambda raw: result
+        return engarde
+
+    def test_inspect_rejects_instead_of_crashing_on_textless_image(self):
+        engarde = self._engarde_with_stub_image(self._image())
+        outcome = engarde.inspect(b"irrelevant", benchmark="textless")
+        assert not outcome.accepted
+        assert outcome.report.rejected_stage == "no-text"
+        assert outcome.report.executable_pages == ()
+
+    def test_inspect_reports_union_for_multi_text_image(self):
+        engarde = self._engarde_with_stub_image(self._image(
+            self._section(0x3000, 0x1000), self._section(0x1000, 0x800),
+        ))
+        outcome = engarde.inspect(b"irrelevant", benchmark="multi")
+        assert outcome.accepted
+        assert outcome.report.executable_pages == (0x1000, 0x3000)

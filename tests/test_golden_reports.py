@@ -1,0 +1,162 @@
+"""Golden-corpus regression tests: frozen ELFs, frozen verdicts.
+
+The fixtures under ``tests/fixtures/golden/`` are small binaries built by
+``repro.toolchain`` and *checked in*, together with the exact
+``ComplianceReport`` wire form each of the three paper policies produced
+for them — and the policy *configuration* (libc hash database, exemption
+list) frozen at the same moment.  Any change to policy behaviour, the
+report boundary, or the rejection pipeline therefore shows up as a
+readable diff against ``expected_reports.json`` instead of a silent
+drift; toolchain changes do not trip it, because the binaries are frozen
+bytes, not rebuilt.
+
+Regenerate deliberately after an intended behaviour change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_reports.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import (
+    EnGarde,
+    IfccPolicy,
+    LibraryLinkingPolicy,
+    PolicyRegistry,
+    StackProtectionPolicy,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "golden"
+POLICY_NAMES = ("library-linking", "stack-protection", "indirect-function-call")
+#: fixture name -> how it is produced at regeneration time
+FIXTURE_BINARIES = ("instrumented", "plain", "truncated", "garbage")
+
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN", "") not in ("", "0")
+
+
+def _frozen_policy(name: str, config: dict):
+    """Instantiate a policy from the *frozen* configuration — the current
+    libc build must not influence golden verdicts."""
+    if name == "library-linking":
+        hashes = {
+            fn: bytes.fromhex(digest)
+            for fn, digest in config["reference_hashes"].items()
+        }
+        return LibraryLinkingPolicy(hashes)
+    if name == "stack-protection":
+        return StackProtectionPolicy(
+            exempt_functions=set(config["exempt_functions"])
+        )
+    return IfccPolicy()
+
+
+def _build_fixtures() -> None:
+    """Regeneration path: build the binaries and freeze everything."""
+    from repro.toolchain import build_libc
+    from tests.conftest import compile_demo
+
+    libc = build_libc()
+    FIXTURES.mkdir(parents=True, exist_ok=True)
+    instrumented = compile_demo(
+        libc, stack_protector=True, ifcc=True, name="golden"
+    ).elf
+    plain = compile_demo(libc, name="golden").elf
+    binaries = {
+        "instrumented": instrumented,
+        "plain": plain,
+        # structural rejects: an ELF cut mid-image, and non-ELF bytes
+        "truncated": instrumented[:128],
+        "garbage": b"\x7fNOT-AN-ELF" + bytes(range(256)),
+    }
+    import hashlib
+
+    for name, blob in binaries.items():
+        (FIXTURES / f"{name}.bin").write_bytes(blob)
+    (FIXTURES / "binary_digests.json").write_text(json.dumps(
+        {n: hashlib.sha256(b).hexdigest() for n, b in binaries.items()},
+        indent=1,
+    ) + "\n")
+    config = {
+        "reference_hashes": {
+            fn: digest.hex()
+            for fn, digest in sorted(libc.reference_hashes().items())
+        },
+        "exempt_functions": sorted(set(libc.offsets)),
+    }
+    (FIXTURES / "policy_config.json").write_text(
+        json.dumps(config, indent=1) + "\n"
+    )
+    expected: dict[str, dict[str, str]] = {}
+    for name, blob in binaries.items():
+        expected[name] = {}
+        for policy_name in POLICY_NAMES:
+            engarde = EnGarde(PolicyRegistry([
+                _frozen_policy(policy_name, config)
+            ]))
+            report = engarde.inspect(blob, benchmark=name).report
+            expected[name][policy_name] = report.serialize().decode()
+    (FIXTURES / "expected_reports.json").write_text(
+        json.dumps(expected, indent=1) + "\n"
+    )
+
+
+if REGEN:
+    _build_fixtures()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not (FIXTURES / "expected_reports.json").is_file():
+        pytest.fail(
+            "golden fixtures missing — run with REPRO_REGEN_GOLDEN=1"
+        )
+    config = json.loads((FIXTURES / "policy_config.json").read_text())
+    expected = json.loads((FIXTURES / "expected_reports.json").read_text())
+    return config, expected
+
+
+@pytest.mark.parametrize("fixture_name", FIXTURE_BINARIES)
+@pytest.mark.parametrize("policy_name", POLICY_NAMES)
+def test_golden_report_is_unchanged(golden, fixture_name, policy_name):
+    config, expected = golden
+    blob = (FIXTURES / f"{fixture_name}.bin").read_bytes()
+    engarde = EnGarde(PolicyRegistry([_frozen_policy(policy_name, config)]))
+    report = engarde.inspect(blob, benchmark=fixture_name).report
+    assert report.serialize().decode() == expected[fixture_name][policy_name], (
+        "policy verdict drifted from the golden corpus — if intentional, "
+        "regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+
+
+def test_golden_corpus_covers_every_verdict_class(golden):
+    """The frozen corpus must keep exercising accept, policy-reject, and
+    structural-reject paths (guards against fixture rot)."""
+    from repro.core import ComplianceReport
+
+    _, expected = golden
+    reports = [
+        ComplianceReport.deserialize(wire.encode())
+        for verdicts in expected.values()
+        for wire in verdicts.values()
+    ]
+    assert any(r.compliant for r in reports)
+    assert any(r.policies_failed for r in reports)
+    assert any(r.rejected_stage for r in reports)
+
+
+def test_golden_binaries_are_frozen_bytes(golden):
+    """The .bin files are content-addressed by the expected reports; a
+    fixture silently swapped for different bytes must be caught even if
+    the verdict happens to match."""
+    import hashlib
+
+    config, expected = golden
+    digests = json.loads((FIXTURES / "binary_digests.json").read_text())
+    for name in FIXTURE_BINARIES:
+        blob = (FIXTURES / f"{name}.bin").read_bytes()
+        assert hashlib.sha256(blob).hexdigest() == digests[name], name

@@ -1,0 +1,253 @@
+"""The batched inspection service, held differential to the sequential core.
+
+The tentpole oracle: over a ≥50-binary corpus of compliant, policy-
+rejected, and structurally-rejected variants, every report produced by
+the batch path — accept/reject bit, failed-policy list, rejection stage,
+executable-page list — must serialize byte-identically to what a lone
+``EnGarde.inspect`` produces, in every execution mode, with the cache
+cold, warm, or shared.  Plus: error isolation, per-binary timeouts,
+in-flight dedup, and a concurrency soak.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core import EnGarde, PolicyRegistry, StackProtectionPolicy
+from repro.service import (
+    BatchInspector,
+    InspectionCache,
+    generate_variant_corpus,
+)
+
+CORPUS_SIZE = 52
+
+
+@pytest.fixture(scope="module")
+def corpus(libc):
+    return generate_variant_corpus(CORPUS_SIZE, libc=libc)
+
+
+@pytest.fixture(scope="module")
+def baseline(corpus, all_policies):
+    """Sequential ground truth: one EnGarde, one binary at a time."""
+    engarde = EnGarde(all_policies)
+    return [
+        engarde.inspect(raw, benchmark=label).report.serialize()
+        for label, raw in corpus
+    ]
+
+
+def _assert_identical(results, baseline, corpus):
+    assert len(results) == len(baseline)
+    for i, (item, wire) in enumerate(zip(results, baseline)):
+        assert item.index == i
+        assert item.label == corpus[i][0]
+        assert item.error is None, (item.label, item.error)
+        assert item.report.serialize() == wire, item.label
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_batch_matches_sequential_baseline(
+        self, mode, corpus, baseline, all_policies
+    ):
+        with BatchInspector(all_policies, workers=4, mode=mode) as inspector:
+            report = inspector.inspect_batch(corpus)
+        _assert_identical(report.results, baseline, corpus)
+        summary = report.summary
+        assert summary.total == CORPUS_SIZE
+        assert summary.errors == 0
+        assert summary.accepted + summary.rejected == CORPUS_SIZE
+        # the corpus contains every verdict class
+        assert summary.accepted > 0 and summary.rejected > 0
+
+    def test_warm_cache_does_not_change_any_verdict(
+        self, corpus, baseline, all_policies
+    ):
+        with BatchInspector(all_policies, workers=4, mode="process") as bi:
+            bi.inspect_batch(corpus)
+            warm = bi.inspect_batch(corpus)
+        _assert_identical(warm.results, baseline, corpus)
+        assert warm.summary.cache_hits == CORPUS_SIZE
+        assert warm.summary.inspected == 0
+
+    def test_order_is_submission_order_not_completion_order(
+        self, corpus, baseline, all_policies
+    ):
+        reordered = list(reversed(corpus))
+        with BatchInspector(
+            all_policies, workers=4, mode="thread", cache=False
+        ) as bi:
+            report = bi.inspect_batch(reordered)
+        _assert_identical(report.results, list(reversed(baseline)), reordered)
+
+    def test_accept_bits_and_page_lists_match(
+        self, corpus, baseline, all_policies
+    ):
+        """Field-level check, not just the wire bytes."""
+        from repro.core import ComplianceReport
+
+        with BatchInspector(all_policies, mode="serial") as bi:
+            report = bi.inspect_batch(corpus)
+        for item, wire in zip(report.results, baseline):
+            expected = ComplianceReport.deserialize(wire)
+            assert item.accepted == expected.compliant
+            assert item.report.executable_pages == expected.executable_pages
+            assert item.report.policies_failed == expected.policies_failed
+            assert item.report.rejected_stage == expected.rejected_stage
+
+
+class TestIsolationAndDedup:
+    def test_malformed_elves_reject_without_killing_the_batch(
+        self, corpus, all_policies
+    ):
+        with BatchInspector(all_policies, workers=2, mode="process") as bi:
+            report = bi.inspect_batch(corpus)
+        by_kind = {}
+        for item in report.results:
+            by_kind.setdefault(item.label.split("-", 1)[1], []).append(item)
+        for item in by_kind["garbage"] + by_kind["truncated"]:
+            assert item.error is None          # rejected, not errored
+            assert not item.accepted
+            assert item.report.rejected_stage in ("elf", "disasm")
+        assert any(i.accepted for i in by_kind["compliant"])
+
+    def test_unexpected_crash_is_isolated_to_its_binary(
+        self, corpus, all_policies, monkeypatch
+    ):
+        poison = corpus[0][1]
+        original = EnGarde.inspect
+
+        def crashing(self, raw_elf, *, benchmark="client"):
+            if raw_elf == poison:
+                raise RuntimeError("simulated pipeline crash")
+            return original(self, raw_elf, benchmark=benchmark)
+
+        monkeypatch.setattr(EnGarde, "inspect", crashing)
+        with BatchInspector(
+            all_policies, workers=2, mode="thread", cache=False
+        ) as bi:
+            report = bi.inspect_batch(corpus[:6])
+        crashed = [r for r in report.results if r.error is not None]
+        assert [r.index for r in crashed] == [0]
+        assert "simulated pipeline crash" in crashed[0].error
+        assert all(r.report is not None for r in report.results[1:])
+        assert report.summary.errors == 1
+
+    def test_per_binary_timeout_marks_only_the_slow_binary(
+        self, corpus, all_policies, monkeypatch
+    ):
+        slow = corpus[2][1]
+        original = EnGarde.inspect
+
+        def sluggish(self, raw_elf, *, benchmark="client"):
+            if raw_elf == slow:
+                time.sleep(2.0)
+            return original(self, raw_elf, benchmark=benchmark)
+
+        monkeypatch.setattr(EnGarde, "inspect", sluggish)
+        with BatchInspector(
+            all_policies, workers=4, mode="thread", cache=False, timeout=0.5
+        ) as bi:
+            report = bi.inspect_batch(corpus[:6])
+        timed_out = [r for r in report.results if r.error is not None]
+        assert [r.index for r in timed_out] == [2]
+        assert "timeout" in timed_out[0].error
+        assert sum(1 for r in report.results if r.report is not None) == 5
+
+    def test_duplicate_bytes_are_inspected_once(self, corpus, all_policies):
+        label, raw = corpus[0]
+        batch = [("first", raw), ("second", raw), ("third", raw)]
+        with BatchInspector(all_policies, mode="serial") as bi:
+            report = bi.inspect_batch(batch)
+        assert report.summary.inspected == 1
+        assert report.summary.deduplicated == 2
+        wires = {r.report.serialize() for r in report.results}
+        assert len(wires) == 3                 # labels differ...
+        verdicts = {
+            r.report.serialize().split(b"\n", 1)[1] for r in report.results
+        }
+        assert len(verdicts) == 1              # ...but verdicts do not
+
+    def test_bare_bytes_and_bad_items_get_positional_labels(
+        self, corpus, all_policies
+    ):
+        with BatchInspector(all_policies, mode="serial") as bi:
+            report = bi.inspect_batch([corpus[0][1], ("bad", None)])
+        assert report.results[0].label == "binary-0"
+        assert report.results[0].report is not None
+        assert report.results[1].error is not None
+        assert report.summary.errors == 1
+
+
+class TestCachePolicyIsolation:
+    def test_shared_cache_cannot_leak_across_policy_digests(
+        self, corpus, libc, all_policies
+    ):
+        """Two agreements sharing one cache: a compliant-under-lenient
+        binary must still be rejected under the strict agreement."""
+        shared = InspectionCache()
+        # find a variant that is compliant under the full (instrumented)
+        # agreement
+        compliant_label, compliant_elf = next(
+            (l, r) for l, r in corpus if l.endswith("-compliant")
+        )
+        lenient = all_policies
+        strict = PolicyRegistry([
+            # no exemptions at all: libc's own functions now fail the
+            # canary check, so the same bytes must be rejected
+            StackProtectionPolicy(exempt_functions=set()),
+        ])
+        with BatchInspector(lenient, mode="serial", cache=shared) as bi:
+            first = bi.inspect_batch([(compliant_label, compliant_elf)])
+        assert first.results[0].accepted
+        with BatchInspector(strict, mode="serial", cache=shared) as bi:
+            second = bi.inspect_batch([(compliant_label, compliant_elf)])
+        assert second.summary.cache_hits == 0   # different digest: no hit
+        assert not second.results[0].accepted
+        assert "stack-protection" in second.results[0].report.policies_failed
+
+
+class TestSoak:
+    def test_many_batches_under_concurrent_submitters(
+        self, corpus, baseline, all_policies
+    ):
+        """One inspector, one shared cache, four submitter threads each
+        pushing shuffled fleets — every verdict everywhere must equal
+        the sequential baseline."""
+        expected = {
+            label: wire for (label, _), wire in zip(corpus, baseline)
+        }
+        inspector = BatchInspector(all_policies, workers=4, mode="thread")
+        errors: list[str] = []
+
+        def submitter(seed: int) -> None:
+            import random
+
+            rng = random.Random(seed)
+            fleet = list(corpus)
+            for _ in range(3):
+                rng.shuffle(fleet)
+                report = inspector.inspect_batch(fleet)
+                for item in report.results:
+                    if item.error is not None:
+                        errors.append(f"{item.label}: {item.error}")
+                    elif item.report.serialize() != expected[item.label]:
+                        errors.append(f"{item.label}: verdict drift")
+
+        threads = [
+            threading.Thread(target=submitter, args=(s,)) for s in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        inspector.close()
+        assert not errors, errors[:5]
+        # steady state: far fewer inspections than verdicts served
+        stats = inspector.cache.stats()
+        assert stats.hits > stats.puts

@@ -174,3 +174,96 @@ def _mem_equal(decoded: Mem, original: Mem) -> bool:
     if original.index is not None and decoded.scale != original.scale:
         return False
     return True
+
+
+# ---------------------------------------------------------------------------
+# Differential sequence fuzz (PR 1): random *sequences* of encoder output
+# must decode back byte-identically, re-encode byte-identically from the
+# decoded operands, and produce the same validator verdict however many
+# times the stream is decoded or the decoded buffer is reused.
+# ---------------------------------------------------------------------------
+
+from repro.x86 import decode_all, validate
+from repro.errors import ValidationError
+
+
+@st.composite
+def encoded_instructions(draw):
+    """One encoder call: (encoded bytes, re-encode from a decoded insn)."""
+    kind = draw(st.integers(0, 7))
+    if kind == 0:
+        src, dst = draw(regs64), draw(regs64)
+        return Enc.mov_rr(src, dst), lambda i: Enc.mov_rr(*i.operands)
+    if kind == 1:
+        op, src, dst = draw(alu_ops), draw(regs64), draw(regs64)
+        return Enc.alu_rr(op, src, dst), lambda i: Enc.alu_rr(
+            i.mnemonic, *i.operands
+        )
+    if kind == 2:
+        op, value, dst = draw(alu_ops), draw(disp32), draw(regs64)
+        return Enc.alu_imm(op, value, dst), lambda i: Enc.alu_imm(
+            i.mnemonic, i.operands[0].value, i.operands[1]
+        )
+    if kind == 3:
+        reg = draw(regs64)
+        if draw(st.booleans()):
+            return Enc.push(reg), lambda i: Enc.push(*i.operands)
+        return Enc.pop(reg), lambda i: Enc.pop(*i.operands)
+    if kind == 4:
+        value, dst = draw(st.integers(-(1 << 63), (1 << 63) - 1)), draw(regs64)
+        return Enc.mov_imm(value, dst), lambda i: Enc.mov_imm(
+            i.operands[0].value, i.operands[1]
+        )
+    if kind == 5:
+        src, mem = draw(regs64), draw(memory_operands())
+        return Enc.mov_store(src, mem), lambda i: Enc.mov_store(*i.operands)
+    if kind == 6:
+        op = draw(st.sampled_from(["shl", "shr", "sar"]))
+        amount, dst = draw(st.integers(0, 63)), draw(regs64)
+        return Enc.shift_imm(op, amount, dst), lambda i: Enc.shift_imm(
+            i.mnemonic, i.operands[0].value, i.operands[1]
+        )
+    rel = draw(disp32)
+    return Enc.call_rel32(rel), lambda i: Enc.call_rel32(i.target - i.end)
+
+
+@given(st.lists(encoded_instructions(), min_size=1, max_size=24))
+@settings(max_examples=150, deadline=None)
+def test_sequence_decode_reencode_roundtrip(seq):
+    blob = b"".join(encoded for encoded, _ in seq)
+    insns = decode_all(blob)
+    assert len(insns) == len(seq)
+    offset = 0
+    for insn, (encoded, reencode) in zip(insns, seq):
+        assert insn.offset == offset
+        assert insn.raw == encoded
+        # encoder(decoder(bytes)) is the identity on the wire
+        assert reencode(insn) == encoded
+        offset += len(encoded)
+    assert offset == len(blob)
+
+
+def _verdict(insns, entry, roots):
+    try:
+        validate(insns, entry=entry, roots=roots)
+        return None
+    except ValidationError as exc:
+        return str(exc)
+
+
+@given(st.lists(encoded_instructions(), min_size=1, max_size=16))
+@settings(max_examples=100, deadline=None)
+def test_validator_verdict_stable_across_decodes(seq):
+    """A fresh decode and a cached (reused) decode of the same bytes must
+    yield the same instructions and the same validator verdict — the
+    invariant the service layer's verdict cache rests on."""
+    blob = b"".join(encoded for encoded, _ in seq)
+    fresh, cached = decode_all(blob), decode_all(blob)
+    assert fresh == cached
+    first = _verdict(fresh, fresh[0].offset, [i.offset for i in fresh])
+    again = _verdict(fresh, fresh[0].offset, [i.offset for i in fresh])
+    other = _verdict(cached, cached[0].offset, [i.offset for i in cached])
+    assert first == again        # validation does not mutate its input
+    assert first == other        # nor depend on which decode it sees
+    # and the decoded buffer is still byte-faithful after validation
+    assert b"".join(i.raw for i in fresh) == blob
