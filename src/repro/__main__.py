@@ -8,6 +8,8 @@ Usage::
     python -m repro demo            # one end-to-end provisioning run
     python -m repro inspect-batch --policy stack-protection --workers 4 \
         --repeats 3 --scale 0.1     # batched service + verdict cache
+    python -m repro profile --scale 0.1 --top 20
+                                    # cProfile the inspection hot path
 """
 
 from __future__ import annotations
@@ -41,6 +43,58 @@ def _figure(policy: str, number: int, scale: float, json_path: str | None) -> No
     print(f"({time.time() - t0:.0f}s wall)")
 
 
+def _profile(args) -> int:
+    """``python -m repro profile``: cProfile the static-inspection core.
+
+    Builds one instrumented workload, inspects it under all three paper
+    policies with the optimized pipeline, and prints the top-N hot spots
+    by cumulative time — the measured starting point for any future perf
+    work (see docs/PERFORMANCE.md).
+    """
+    import cProfile
+    import pstats
+
+    from .core import EnGarde, PolicyRegistry
+    from .harness.runner import make_policy
+    from .toolchain import build_libc
+    from .toolchain.workloads import build_workload
+
+    t0 = time.time()
+    libc = build_libc()
+    binary = build_workload(
+        args.benchmark, stack_protector=True, ifcc=True,
+        libc=libc, scale=args.scale,
+    )
+    policy_names = (
+        "library-linking", "stack-protection", "indirect-function-call"
+    )
+
+    def corpus_inspection() -> None:
+        # Fresh EnGarde per pass: caches must not carry over between
+        # repeats, so the profile reflects steady single-binary cost.
+        for _ in range(args.repeats):
+            engarde = EnGarde(PolicyRegistry([
+                make_policy(name, libc) for name in policy_names
+            ]))
+            outcome = engarde.inspect(binary.elf, benchmark=args.benchmark)
+            assert outcome.report is not None
+
+    corpus_inspection()  # warm-up: imports, lazy tables
+    profiler = cProfile.Profile()
+    profiler.enable()
+    corpus_inspection()
+    profiler.disable()
+
+    print(
+        f"# profile: {args.benchmark} @ scale {args.scale} "
+        f"({binary.insn_count} insns, {args.repeats} inspection(s), "
+        f"{len(policy_names)} policies, {time.time() - t0:.0f}s wall)"
+    )
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    return 0
+
+
 def _positive_int(value: str) -> int:
     n = int(value)
     if n < 1:
@@ -56,9 +110,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "target",
         choices=["fig2", "fig3", "fig4", "fig5", "all", "demo",
-                 "inspect-batch"],
-        help="which table/figure to regenerate, or 'inspect-batch' to "
-             "drive the batched inspection service",
+                 "inspect-batch", "profile"],
+        help="which table/figure to regenerate, 'inspect-batch' to "
+             "drive the batched inspection service, or 'profile' to "
+             "cProfile a corpus inspection and print the hot spots",
     )
     parser.add_argument(
         "--scale", type=float, default=1.0,
@@ -94,7 +149,19 @@ def main(argv: list[str] | None = None) -> int:
         "--timeout", type=float, default=None,
         help="per-binary inspection timeout in seconds",
     )
+    profile_group = parser.add_argument_group("profile options")
+    profile_group.add_argument(
+        "--benchmark", default="nginx",
+        help="workload to profile (a paper benchmark name)",
+    )
+    profile_group.add_argument(
+        "--top", type=_positive_int, default=25,
+        help="how many hot spots to print (by cumulative time)",
+    )
     args = parser.parse_args(argv)
+
+    if args.target == "profile":
+        return _profile(args)
 
     if args.target == "inspect-batch":
         from .harness.runner import run_batch

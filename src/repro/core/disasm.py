@@ -30,7 +30,8 @@ from ..elf import ElfImage, read_elf
 from ..errors import DecodeError, ElfError, RejectionError, ValidationError
 from ..sgx.cpu import CycleMeter
 from ..sgx.params import PAGE_SIZE
-from ..x86 import Instruction, decode_one, validate
+from ..x86 import Instruction, iter_decode, validate
+from ..x86.refdecode import ref_decode_one
 from .policy import PolicyContext, SymbolHashTable
 
 __all__ = ["DisassemblyResult", "Disassembler", "INSN_RECORD_BYTES"]
@@ -51,12 +52,13 @@ class DisassemblyResult:
     #: pages of instruction-buffer memory requested from the host
     buffer_pages_allocated: int
 
-    def policy_context(self, meter: CycleMeter) -> PolicyContext:
+    def policy_context(self, meter: CycleMeter, *, cached: bool = True) -> PolicyContext:
         return PolicyContext(
             instructions=self.instructions,
             symtab=self.symtab,
             image=self.image,
             meter=meter,
+            cached=cached,
         )
 
 
@@ -68,6 +70,14 @@ class Disassembler:
     unit tests).  *per_insn_malloc* reproduces the naive strategy the
     paper optimised away — one trampoline per instruction record instead
     of one per page — for the ablation benchmark.
+
+    *optimized* selects the decode loop: the default drives the
+    dispatch-table decoder through a resumable cursor and flushes meter
+    charges once per stage; ``optimized=False`` runs the frozen
+    pre-optimization loop (per-instruction ``ref_decode_one`` + three
+    per-instruction ``charge`` calls) for differential testing and
+    baseline benchmarks.  Both produce identical instructions, identical
+    trampoline call sequences, and tick-identical meter totals.
     """
 
     def __init__(
@@ -77,6 +87,7 @@ class Disassembler:
         alloc_pages=None,
         per_insn_malloc: bool = False,
         allow_stripped: bool = False,
+        optimized: bool = True,
     ) -> None:
         self.meter = meter
         self._alloc_pages = alloc_pages or (lambda n: 0)
@@ -84,6 +95,7 @@ class Disassembler:
         #: extension (paper section 6): recover function starts in
         #: stripped binaries instead of auto-rejecting them
         self.allow_stripped = allow_stripped
+        self.optimized = optimized
 
     # ------------------------------------------------------------ stages
 
@@ -130,43 +142,19 @@ class Disassembler:
     def disassemble(self, image: ElfImage) -> DisassemblyResult:
         """Decode all text sections into the dynamic instruction buffer."""
         meter = self.meter
-        text = image.text_sections[0]
         if len(image.text_sections) != 1:
             raise RejectionError(
                 "expected exactly one text section", stage="disasm"
             )
+        text = image.text_sections[0]
 
-        instructions: list[Instruction] = []
-        buffer_bytes_used = 0
-        buffer_pages = 0
-        code = text.data
-        pos = 0
-        try:
-            while pos < len(code):
-                insn = decode_one(code, pos)
-                if insn.end > len(code):
-                    raise DecodeError("instruction extends past section end")
-                meter.charge("decode_byte", insn.length)
-                meter.charge("decode_insn")
-                # Dynamic buffer bookkeeping: allocate via the trampoline
-                # page-at-a-time (or per record, for the ablation).
-                if self.per_insn_malloc:
-                    self._alloc_pages(1)
-                    buffer_pages += 1
-                else:
-                    buffer_bytes_used += INSN_RECORD_BYTES
-                    if buffer_bytes_used > buffer_pages * PAGE_SIZE:
-                        self._alloc_pages(1)
-                        buffer_pages += 1
-                meter.charge("buffer_store")
-                instructions.append(insn)
-                pos = insn.end
-        except DecodeError as exc:
-            raise RejectionError(
-                f"disassembly failed: {exc}", stage="disasm"
-            ) from exc
+        if self.optimized:
+            instructions, buffer_pages = self._decode_fast(text.data)
+        else:
+            instructions, buffer_pages = self._decode_reference(text.data)
 
         # -- NaCl structural constraints ---------------------------------
+        code = text.data
         symtab = SymbolHashTable(meter)
         roots = []
         if image.function_symbols():
@@ -205,6 +193,85 @@ class Disassembler:
             text_vaddr=text.vaddr,
             buffer_pages_allocated=buffer_pages,
         )
+
+    # ------------------------------------------------------- decode loops
+
+    def _decode_fast(self, code: bytes) -> tuple[list[Instruction], int]:
+        """Hot decode loop: resumable-cursor decoding, batched charges.
+
+        Meter counts are accumulated in locals and flushed with one
+        :meth:`CycleMeter.charge_batch` call per stage — including on the
+        rejection path, so a binary that fails mid-stream still charges
+        exactly what the per-instruction reference loop would have charged
+        for the instructions completed before the failure.
+        """
+        instructions: list[Instruction] = []
+        append = instructions.append
+        alloc = self._alloc_pages
+        per_insn = self.per_insn_malloc
+        buffer_bytes_used = 0
+        buffer_pages = 0
+        n_bytes = 0
+        try:
+            for insn in iter_decode(code, 0, len(code)):
+                n_bytes += insn.length
+                # Dynamic buffer bookkeeping: allocate via the trampoline
+                # page-at-a-time (or per record, for the ablation).
+                if per_insn:
+                    alloc(1)
+                    buffer_pages += 1
+                else:
+                    buffer_bytes_used += INSN_RECORD_BYTES
+                    if buffer_bytes_used > buffer_pages * PAGE_SIZE:
+                        alloc(1)
+                        buffer_pages += 1
+                append(insn)
+        except DecodeError as exc:
+            self.meter.charge_batch({
+                "decode_byte": n_bytes,
+                "decode_insn": len(instructions),
+                "buffer_store": len(instructions),
+            })
+            raise RejectionError(
+                f"disassembly failed: {exc}", stage="disasm"
+            ) from exc
+        self.meter.charge_batch({
+            "decode_byte": n_bytes,
+            "decode_insn": len(instructions),
+            "buffer_store": len(instructions),
+        })
+        return instructions, buffer_pages
+
+    def _decode_reference(self, code: bytes) -> tuple[list[Instruction], int]:
+        """Frozen pre-optimization loop (differential oracle / baseline)."""
+        meter = self.meter
+        instructions: list[Instruction] = []
+        buffer_bytes_used = 0
+        buffer_pages = 0
+        pos = 0
+        try:
+            while pos < len(code):
+                insn = ref_decode_one(code, pos)
+                if insn.end > len(code):
+                    raise DecodeError("instruction extends past section end")
+                meter.charge("decode_byte", insn.length)
+                meter.charge("decode_insn")
+                if self.per_insn_malloc:
+                    self._alloc_pages(1)
+                    buffer_pages += 1
+                else:
+                    buffer_bytes_used += INSN_RECORD_BYTES
+                    if buffer_bytes_used > buffer_pages * PAGE_SIZE:
+                        self._alloc_pages(1)
+                        buffer_pages += 1
+                meter.charge("buffer_store")
+                instructions.append(insn)
+                pos = insn.end
+        except DecodeError as exc:
+            raise RejectionError(
+                f"disassembly failed: {exc}", stage="disasm"
+            ) from exc
+        return instructions, buffer_pages
 
     def run(self, raw: bytes) -> DisassemblyResult:
         """Full stage: parse, page-split check, disassemble, validate."""

@@ -72,11 +72,19 @@ class EnGarde:
         *,
         alloc_pages=None,
         per_insn_malloc: bool = False,
+        optimized: bool = True,
     ) -> None:
         self.policies = policies
         self.meter = meter or CycleMeter()
+        #: ``optimized=False`` runs the frozen pre-optimization hot path
+        #: (reference decoder, per-instruction charges, uncached policy
+        #: context) — the differential-testing oracle and benchmark
+        #: baseline.  Verdicts, reports, and meter totals are identical
+        #: either way; only wall-clock differs.
+        self.optimized = optimized
         self.disassembler = Disassembler(
-            self.meter, alloc_pages=alloc_pages, per_insn_malloc=per_insn_malloc
+            self.meter, alloc_pages=alloc_pages,
+            per_insn_malloc=per_insn_malloc, optimized=optimized,
         )
         self.loader = Loader(self.meter)
 
@@ -99,7 +107,7 @@ class EnGarde:
                 )
             )
 
-        ctx = disasm.policy_context(self.meter)
+        ctx = disasm.policy_context(self.meter, cached=self.optimized)
         results: list[PolicyResult] = []
         failed: list[str] = []
         with self.meter.phase("policy"):

@@ -55,9 +55,9 @@ class IfccPolicy(PolicyModule):
         table_range = self._find_jump_table(ctx, result)
         indirect_calls = 0
         meter.charge("policy_scan_insn", len(ctx.instructions))
-        for idx, insn in enumerate(ctx.instructions):
-            if not (insn.is_indirect_call or insn.is_indirect_jump):
-                continue
+        instructions = ctx.instructions
+        for idx in ctx.indirect_calls():
+            insn = instructions[idx]
             indirect_calls += 1
             if table_range is None:
                 result.add_violation(
@@ -91,16 +91,23 @@ class IfccPolicy(PolicyModule):
         if set(entries) != expected:
             result.add_violation("jump table entries are not contiguous")
             return None
-        for addr in entries:
-            meter.charge("policy_compare", 2)
-            jmp = ctx.at(addr)
-            if jmp is None or not jmp.is_direct_jump or jmp.length != 5:
-                result.add_violation("malformed jump-table entry (no jmpq)")
-                return None
-            pad = ctx.at(addr + 5)
-            if pad is None or pad.mnemonic != "nopl" or pad.length != 3:
-                result.add_violation("malformed jump-table entry (no nopl)")
-                return None
+        # Two comparisons per entry, accumulated locally and flushed in one
+        # batched charge even when a malformed entry aborts the loop early.
+        compares = 0
+        try:
+            for addr in entries:
+                compares += 2
+                jmp = ctx.at(addr)
+                if jmp is None or not jmp.is_direct_jump or jmp.length != 5:
+                    result.add_violation("malformed jump-table entry (no jmpq)")
+                    return None
+                pad = ctx.at(addr + 5)
+                if pad is None or pad.mnemonic != "nopl" or pad.length != 3:
+                    result.add_violation("malformed jump-table entry (no nopl)")
+                    return None
+        finally:
+            if compares:
+                meter.charge("policy_compare", compares)
         size = end - start
         if size & (size - 1):
             result.add_violation("jump table size is not a power of two")
@@ -122,61 +129,68 @@ class IfccPolicy(PolicyModule):
         base: Reg | None = None
         mask_value: int | None = None
         state = "add"  # expected next (walking backward): add, and, sub, lea
-        for back in range(idx - 1, max(idx - 1 - self.backward_window, -1), -1):
-            meter.charge("policy_compare")
-            insn = ctx.instructions[back]
-            if insn.mnemonic in ("nop", "nopl"):
-                continue
-            if state == "add":
-                # add %base,%ptr
-                if (insn.mnemonic == "add" and len(insn.operands) == 2
-                        and isinstance(insn.operands[0], Reg)
-                        and isinstance(insn.operands[1], Reg)
-                        and insn.operands[1].num == ptr.num):
-                    base = insn.operands[0]
-                    state = "and"
+        # One comparison per backward step; accumulated and flushed in one
+        # charge whichever way the walk exits.
+        steps = 0
+        try:
+            for back in range(idx - 1, max(idx - 1 - self.backward_window, -1), -1):
+                steps += 1
+                insn = ctx.instructions[back]
+                if insn.mnemonic in ("nop", "nopl"):
                     continue
-                return False
-            if state == "and":
-                # and $mask,%ptr
-                if (insn.mnemonic == "and" and len(insn.operands) == 2
-                        and isinstance(insn.operands[0], Imm)
-                        and isinstance(insn.operands[1], Reg)
-                        and insn.operands[1].num == ptr.num):
-                    mask_value = insn.operands[0].value
-                    state = "sub"
-                    continue
-                return False
-            if state == "sub":
-                # sub %base(32),%ptr(32)
-                if (insn.mnemonic == "sub" and len(insn.operands) == 2
-                        and isinstance(insn.operands[0], Reg)
-                        and isinstance(insn.operands[1], Reg)
-                        and base is not None
-                        and insn.operands[0].num == base.num
-                        and insn.operands[1].num == ptr.num):
-                    state = "lea"
-                    continue
-                return False
-            if state == "lea":
-                # lea table(%rip),%base
-                if (insn.mnemonic == "lea" and len(insn.operands) == 2
-                        and isinstance(insn.operands[0], Mem)
-                        and insn.operands[0].rip_relative
-                        and isinstance(insn.operands[1], Reg)
-                        and base is not None
-                        and insn.operands[1].num == base.num):
-                    lea_target = insn.end + insn.operands[0].disp
-                    if lea_target != table_start:
-                        return False
-                    if mask_value != (table_end - table_start) - _ENTRY_SIZE:
-                        return False
-                    return True
-                # tolerate the pointer load interleaved in the chain
-                if _writes_reg(insn, ptr) or (base is not None and _writes_reg(insn, base)):
+                if state == "add":
+                    # add %base,%ptr
+                    if (insn.mnemonic == "add" and len(insn.operands) == 2
+                            and isinstance(insn.operands[0], Reg)
+                            and isinstance(insn.operands[1], Reg)
+                            and insn.operands[1].num == ptr.num):
+                        base = insn.operands[0]
+                        state = "and"
+                        continue
                     return False
-                continue
-        return False
+                if state == "and":
+                    # and $mask,%ptr
+                    if (insn.mnemonic == "and" and len(insn.operands) == 2
+                            and isinstance(insn.operands[0], Imm)
+                            and isinstance(insn.operands[1], Reg)
+                            and insn.operands[1].num == ptr.num):
+                        mask_value = insn.operands[0].value
+                        state = "sub"
+                        continue
+                    return False
+                if state == "sub":
+                    # sub %base(32),%ptr(32)
+                    if (insn.mnemonic == "sub" and len(insn.operands) == 2
+                            and isinstance(insn.operands[0], Reg)
+                            and isinstance(insn.operands[1], Reg)
+                            and base is not None
+                            and insn.operands[0].num == base.num
+                            and insn.operands[1].num == ptr.num):
+                        state = "lea"
+                        continue
+                    return False
+                if state == "lea":
+                    # lea table(%rip),%base
+                    if (insn.mnemonic == "lea" and len(insn.operands) == 2
+                            and isinstance(insn.operands[0], Mem)
+                            and insn.operands[0].rip_relative
+                            and isinstance(insn.operands[1], Reg)
+                            and base is not None
+                            and insn.operands[1].num == base.num):
+                        lea_target = insn.end + insn.operands[0].disp
+                        if lea_target != table_start:
+                            return False
+                        if mask_value != (table_end - table_start) - _ENTRY_SIZE:
+                            return False
+                        return True
+                    # tolerate the pointer load interleaved in the chain
+                    if _writes_reg(insn, ptr) or (base is not None and _writes_reg(insn, base)):
+                        return False
+                    continue
+            return False
+        finally:
+            if steps:
+                meter.charge("policy_compare", steps)
 
 
 def _writes_reg(insn: Instruction, reg: Reg) -> bool:

@@ -56,11 +56,16 @@ class LibraryLinkingPolicy(PolicyModule):
         calls_checked = 0
         hashes_computed = 0
         cache: dict[int, bytes] = {}
+        # Wall-clock-only digest index (cached contexts, unmemoized mode):
+        # each callee's bytes are hashed once, but repeat call sites still
+        # charge the meter — and count toward ``hashes_computed`` — exactly
+        # as the paper's per-call-site walk does.  Observable behaviour is
+        # identical to recomputing; only Python time is saved.
+        use_index = ctx.cached and not self.memoize
+        digest_index: dict[int, tuple[bytes, int, int]] = {}
 
         meter.charge("policy_scan_insn", len(ctx.instructions))
-        for insn in ctx.instructions:
-            if not insn.is_direct_call:
-                continue
+        for insn in ctx.direct_calls():
             target = insn.target
             name = ctx.symtab.lookup(target)
             if name is None:
@@ -79,11 +84,19 @@ class LibraryLinkingPolicy(PolicyModule):
             calls_checked += 1
             if self.memoize and target in cache:
                 digest = cache[target]
+            elif use_index and target in digest_index:
+                digest, lookups, blocks = digest_index[target]
+                meter.charge_batch(
+                    {"symtab_lookup": lookups, "sha256_block": blocks}
+                )
+                hashes_computed += 1
             else:
-                digest = self._hash_function(ctx, target)
+                digest, lookups, blocks = self._hash_function(ctx, target)
                 hashes_computed += 1
                 if self.memoize:
                     cache[target] = digest
+                elif use_index:
+                    digest_index[target] = (digest, lookups, blocks)
             if digest != self.reference_hashes[name]:
                 result.add_violation(
                     f"function {name!r} does not match {self.library_name}"
@@ -93,7 +106,9 @@ class LibraryLinkingPolicy(PolicyModule):
         result.stats["hashes_computed"] = hashes_computed
         return result
 
-    def _hash_function(self, ctx: PolicyContext, start: int) -> bytes:
+    def _hash_function(
+        self, ctx: PolicyContext, start: int
+    ) -> tuple[bytes, int, int]:
         """Walk the callee from *start* to the next function start, hashing.
 
         Each walked instruction consults the symbol hash table ("is this
@@ -102,6 +117,11 @@ class LibraryLinkingPolicy(PolicyModule):
         callee's bytes, is what makes this the most expensive policy in
         Figure 3.  Charges are batched with the exact counts the
         instruction-by-instruction walk performs.
+
+        Returns ``(digest, symtab_lookups, sha256_blocks)`` — the charge
+        counts let the digest index re-charge repeat call sites with
+        exactly what this walk cost (``next_function_start`` charges one
+        extra symtab_lookup on top of the per-instruction probes).
         """
         meter = ctx.meter
         first = ctx.index_by_offset[start]
@@ -117,6 +137,8 @@ class LibraryLinkingPolicy(PolicyModule):
         # boundary instruction that terminates the walk).
         meter.charge("symtab_lookup", max(last - first, 1))
         nbytes = end_byte - start
-        meter.charge("sha256_block", (nbytes + 63) // 64 + 1)  # +1 finalise
+        blocks = (nbytes + 63) // 64 + 1  # +1 finalise
+        meter.charge("sha256_block", blocks)
         text = ctx.image.text_sections[0].data
-        return sha256_fast(text[start:end_byte])
+        digest = sha256_fast(text[start:end_byte])
+        return digest, 1 + max(last - first, 1), blocks

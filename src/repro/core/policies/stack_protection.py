@@ -185,10 +185,9 @@ class StackProtectionPolicy(PolicyModule):
             ):
                 protected = True
 
-        if backward_charges:
-            meter.charge("policy_compare", backward_charges)
-        if forward_charges:
-            meter.charge("policy_compare", forward_charges)
+        compares = backward_charges + forward_charges
+        if compares:
+            meter.charge("policy_compare", compares)
         return protected
 
     def _tail_ok(

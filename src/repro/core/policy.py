@@ -14,6 +14,7 @@ do, which is how the evaluation's "Policy Checking" column is produced.
 from __future__ import annotations
 
 import abc
+import bisect
 from dataclasses import dataclass, field
 
 from ..elf import ElfImage
@@ -59,12 +60,15 @@ class SymbolHashTable:
         return addr in self._by_addr
 
     def next_function_start(self, addr: int) -> int | None:
-        """Smallest function start strictly greater than *addr*."""
+        """Smallest function start strictly greater than *addr*.
+
+        The sorted-starts cache is rebuilt lazily on the first lookup
+        after an :meth:`insert`, so interleaved insert/lookup sequences
+        always see a coherent table.
+        """
         if not self._sorted:
             self._starts = sorted(self._by_addr)
             self._sorted = True
-        import bisect
-
         idx = bisect.bisect_right(self._starts, addr)
         self._meter.charge("symtab_lookup")
         return self._starts[idx] if idx < len(self._starts) else None
@@ -85,6 +89,16 @@ class PolicyContext:
 
     Offsets are *text-relative* throughout: instruction offsets, symbol
     addresses, and branch targets all use the same coordinate system.
+
+    With ``cached=True`` (the default) the context lazily computes shared
+    views of the instruction buffer — call-site lists, the sorted function
+    boundary table, per-function instruction extents — so the policy
+    modules stop re-scanning the whole buffer once each.  The caches are
+    pure wall-clock memoization: every metered operation still charges the
+    cycle meter exactly as the uncached walk does, and the views assume
+    the context (instructions + symtab) is frozen for its lifetime, which
+    the pipeline guarantees.  ``cached=False`` recomputes everything per
+    call and is used by the differential reference path.
     """
 
     instructions: list[Instruction]
@@ -93,16 +107,50 @@ class PolicyContext:
     meter: CycleMeter
     #: index of each instruction by its text-relative offset
     index_by_offset: dict[int, int] = field(default_factory=dict)
+    #: enable the shared lazily-computed views below
+    cached: bool = True
 
     def __post_init__(self) -> None:
         if not self.index_by_offset:
             self.index_by_offset = {
                 insn.offset: i for i, insn in enumerate(self.instructions)
             }
+        self._call_sites: tuple[list[Instruction], list[int]] | None = None
+        self._starts_view: list[tuple[int, str]] | None = None
+        self._extents: dict[int, tuple[int, int]] = {}
 
     def at(self, offset: int) -> Instruction | None:
         idx = self.index_by_offset.get(offset)
         return self.instructions[idx] if idx is not None else None
+
+    # ------------------------------------------------- shared prescan views
+
+    def _scan_call_sites(self) -> tuple[list[Instruction], list[int]]:
+        """One pass over the buffer collecting both call-site views."""
+        direct: list[Instruction] = []
+        indirect: list[int] = []
+        for i, insn in enumerate(self.instructions):
+            if insn.is_direct_call:
+                direct.append(insn)
+            if insn.is_indirect_call or insn.is_indirect_jump:
+                indirect.append(i)
+        return direct, indirect
+
+    def direct_calls(self) -> list[Instruction]:
+        """Direct call instructions, in buffer order (shared prescan)."""
+        if not self.cached:
+            return self._scan_call_sites()[0]
+        if self._call_sites is None:
+            self._call_sites = self._scan_call_sites()
+        return self._call_sites[0]
+
+    def indirect_calls(self) -> list[int]:
+        """Indices of indirect call/jump sites, in buffer order."""
+        if not self.cached:
+            return self._scan_call_sites()[1]
+        if self._call_sites is None:
+            self._call_sites = self._scan_call_sites()
+        return self._call_sites[1]
 
     def function_extent(self, start: int) -> tuple[int, int]:
         """(first, last+1) instruction indices of the function at *start*.
@@ -110,7 +158,16 @@ class PolicyContext:
         Models the paper's traversal — walking from *start* and asking the
         symbol hash table at each instruction whether it begins another
         function — charging one lookup per walked instruction (batched).
+        Extents are cached per start, but each call charges the meter as
+        if it had walked: one boundary probe plus one lookup per
+        instruction in the function.
         """
+        if self.cached:
+            ext = self._extents.get(start)
+            if ext is not None:
+                first, last = ext
+                self.meter.charge("symtab_lookup", 1 + max(last - first, 1))
+                return ext
         first = self.index_by_offset.get(start)
         if first is None:
             raise PolicyError(f"function start {start:#x} is not an instruction")
@@ -124,11 +181,17 @@ class PolicyContext:
                     f"function boundary {end_offset:#x} is not an instruction"
                 )
         self.meter.charge("symtab_lookup", max(last - first, 1))
+        if self.cached:
+            self._extents[start] = (first, last)
         return first, last
 
     def function_starts(self) -> list[tuple[int, str]]:
         """All (address, name) pairs, sorted by address."""
-        return sorted(self.symtab.items())
+        if not self.cached:
+            return sorted(self.symtab.items())
+        if self._starts_view is None:
+            self._starts_view = sorted(self.symtab.items())
+        return self._starts_view
 
 
 @dataclass

@@ -64,24 +64,50 @@ class SHA256:
 
     def __init__(self, data: bytes = b"") -> None:
         self._h = list(_IV)
-        self._buffer = b""
+        self._buffer = bytearray()  # partial block, always < BLOCK_SIZE
         self._length = 0  # total message length in bytes
         if data:
             self.update(data)
 
     def update(self, data: bytes) -> None:
-        """Absorb *data* into the hash state."""
-        if not isinstance(data, (bytes, bytearray, memoryview)):
-            raise TypeError(f"expected bytes-like, got {type(data).__name__}")
-        data = bytes(data)
-        self._length += len(data)
-        buf = self._buffer + data
-        offset = 0
-        end = len(buf) - (len(buf) % BLOCK_SIZE)
-        while offset < end:
-            self._compress(buf[offset:offset + BLOCK_SIZE])
-            offset += BLOCK_SIZE
-        self._buffer = buf[end:]
+        """Absorb *data* into the hash state.
+
+        Copies nothing but the sub-block tail: full blocks are compressed
+        straight out of the caller's buffer (bytes inputs are sliced
+        directly; other bytes-like inputs through a memoryview), and the
+        partial-block remainder is appended to a persistent bytearray
+        rather than re-concatenated per call.
+        """
+        if type(data) is not bytes:
+            if not isinstance(data, (bytes, bytearray, memoryview)):
+                raise TypeError(f"expected bytes-like, got {type(data).__name__}")
+            view = memoryview(data)
+            if view.itemsize != 1:
+                try:
+                    view = view.cast("B")
+                except TypeError:
+                    view = memoryview(view.tobytes())
+            data = view
+        nbytes = len(data)
+        self._length += nbytes
+        buffer = self._buffer
+        compress = self._compress
+        start = 0
+        if buffer:
+            # Top up the pending partial block first.
+            need = BLOCK_SIZE - len(buffer)
+            if nbytes < need:
+                buffer += data
+                return
+            buffer += data[:need]
+            compress(buffer)
+            buffer.clear()
+            start = need
+        end = start + ((nbytes - start) - (nbytes - start) % BLOCK_SIZE)
+        for offset in range(start, end, BLOCK_SIZE):
+            compress(data[offset:offset + BLOCK_SIZE])
+        if end < nbytes:
+            buffer += data[end:]
 
     def digest(self) -> bytes:
         """Return the digest of everything absorbed so far."""
@@ -99,7 +125,7 @@ class SHA256:
     def copy(self) -> "SHA256":
         clone = SHA256()
         clone._h = list(self._h)
-        clone._buffer = self._buffer
+        clone._buffer = bytearray(self._buffer)
         clone._length = self._length
         return clone
 

@@ -8,6 +8,23 @@ byte counts).  Used by EnGarde's in-enclave disassembly stage.
 Unknown opcodes raise :class:`~repro.errors.DecodeError`; EnGarde converts
 that into a rejection of the client's binary, exactly as NaCl's validator
 rejects binaries it cannot disassemble unambiguously.
+
+This is the hot path of the whole inspection pipeline, so the decode loop
+is engineered accordingly:
+
+* opcode selection is a 256-entry handler dispatch table (plus a second
+  table for the ``0F`` page) built once at import, not a sequential
+  if/elif chain walked per instruction;
+* :func:`iter_decode` drives a single resumable cursor across the region
+  instead of re-slicing and re-bounds-checking from scratch per
+  instruction;
+* register operands come from the interned :data:`~repro.x86.registers.GPR64`
+  / :data:`~repro.x86.registers.GPR32` banks instead of fresh ``Reg``
+  allocations.
+
+The pre-optimization decoder is preserved verbatim in
+:mod:`repro.x86.refdecode`; differential tests assert both produce
+identical instruction streams and identical error messages.
 """
 
 from __future__ import annotations
@@ -27,25 +44,39 @@ from .opcodes import (
     PREFIX_GS,
     PREFIX_OPSIZE,
 )
-from .registers import Reg
+from .registers import GPR32, GPR64, Reg
 
 __all__ = ["decode_one", "decode_all", "iter_decode"]
 
-_I8 = struct.Struct("<b")
-_I32 = struct.Struct("<i")
-_I64 = struct.Struct("<q")
+_I8 = struct.Struct("<b").unpack_from
+_I32 = struct.Struct("<i").unpack_from
+_I64 = struct.Struct("<q").unpack_from
 
 # ALU opcodes of the 0x01/0x03 families, derived from the group table.
 _ALU_MR = {i * 8 + 0x01: name for i, name in enumerate(GROUP1.values())}
 _ALU_RM = {i * 8 + 0x03: name for i, name in enumerate(GROUP1.values())}
+# reg -> r/m and r/m -> reg mnemonics by opcode, covering mov/test too.
+_MR_MNEM = {**_ALU_MR, 0x89: "mov", 0x85: "test"}
+_RM_MNEM = {**_ALU_RM, 0x8B: "mov"}
+
+_CMOV_MNEM = tuple("cmov" + CC_BY_CODE[cc][1:] for cc in range(16))
 
 _MAX_INSN = 15  # architectural limit
 
+_INSN_NEW = Instruction.__new__
+
 
 class _Cursor:
-    """Byte reader with bounds checking over the code buffer."""
+    """Resumable byte reader with bounds checking over the code buffer.
 
-    __slots__ = ("code", "pos", "start")
+    One cursor decodes a whole region: per-instruction state (prefix
+    count, REX byte, segment override, operand width) lives on the cursor
+    and is reset by :func:`_decode_next`, so linear decoding never
+    re-slices or re-scans bytes it has already consumed.
+    """
+
+    __slots__ = ("code", "pos", "start", "rex", "seg", "wbits", "bank",
+                 "n_prefix", "n_opcode")
 
     def __init__(self, code: bytes, pos: int) -> None:
         self.code = code
@@ -71,47 +102,89 @@ class _Cursor:
             ) from None
 
     def i8(self) -> int:
-        return _I8.unpack_from(self._take(1))[0]
+        pos = self.pos
+        if pos + 1 > len(self.code):
+            raise DecodeError(f"truncated instruction at offset {self.start:#x}")
+        self.pos = pos + 1
+        return _I8(self.code, pos)[0]
 
     def i32(self) -> int:
-        return _I32.unpack_from(self._take(4))[0]
+        pos = self.pos
+        if pos + 4 > len(self.code):
+            raise DecodeError(f"truncated instruction at offset {self.start:#x}")
+        self.pos = pos + 4
+        return _I32(self.code, pos)[0]
 
     def i64(self) -> int:
-        return _I64.unpack_from(self._take(8))[0]
-
-    def _take(self, n: int) -> bytes:
-        if self.pos + n > len(self.code):
+        pos = self.pos
+        if pos + 8 > len(self.code):
             raise DecodeError(f"truncated instruction at offset {self.start:#x}")
-        chunk = self.code[self.pos:self.pos + n]
-        self.pos += n
-        return chunk
+        self.pos = pos + 8
+        return _I64(self.code, pos)[0]
 
 
-def _parse_modrm(
-    cur: _Cursor, rex: int, seg: str | None, reg_bits: int, rm_bits: int
-) -> tuple[int, Reg | Mem, int]:
+def _build(
+    cur: _Cursor,
+    mnemonic: str,
+    operands: tuple = (),
+    disp: int = 0,
+    imm: int = 0,
+    modrm: bool = False,
+    target: int | None = None,
+) -> Instruction:
+    """Materialise the Instruction for the bytes [cur.start, cur.pos).
+
+    Field-for-field equivalent to calling ``Instruction(...)``; writes the
+    frozen dataclass's ``__dict__`` directly to skip the per-field
+    ``object.__setattr__`` round trips of the generated ``__init__`` (this
+    runs once per decoded instruction).  Equality with the ordinary
+    constructor is pinned by tests.
+    """
+    start = cur.start
+    pos = cur.pos
+    if pos - start > _MAX_INSN:
+        raise DecodeError(f"instruction longer than 15 bytes at {start:#x}")
+    insn = _INSN_NEW(Instruction)
+    d = insn.__dict__
+    d["offset"] = start
+    d["raw"] = cur.code[start:pos]
+    d["mnemonic"] = mnemonic
+    d["operands"] = operands
+    d["num_prefix_bytes"] = cur.n_prefix
+    d["num_opcode_bytes"] = cur.n_opcode
+    d["num_displacement_bytes"] = disp
+    d["num_immediate_bytes"] = imm
+    d["has_modrm"] = modrm
+    d["target"] = target
+    return insn
+
+
+def _parse_modrm(cur: _Cursor, rm_bits: int) -> tuple[int, Reg | Mem, int]:
     """Parse ModRM (+SIB +disp).  Returns (reg_field, rm_operand, disp_bytes)."""
+    rex = cur.rex
+    seg = cur.seg
     modrm = cur.u8()
     mod = modrm >> 6
-    reg_field = (((rex >> 2) & 1) << 3) | ((modrm >> 3) & 0b111)
+    reg_field = ((rex & 0b100) << 1) | ((modrm >> 3) & 0b111)
     rm = modrm & 0b111
 
     if mod == 0b11:
-        return reg_field, Reg((((rex & 1) << 3) | rm), rm_bits), 0
+        bank = GPR64 if rm_bits == 64 else GPR32
+        return reg_field, bank[((rex & 1) << 3) | rm], 0
 
     disp_bytes = 0
     if rm == 0b100:
         sib = cur.u8()
         scale = 1 << (sib >> 6)
-        index_num = (((rex >> 1) & 1) << 3) | ((sib >> 3) & 0b111)
+        index_num = ((rex & 0b10) << 2) | ((sib >> 3) & 0b111)
         base_num = ((rex & 1) << 3) | (sib & 0b111)
-        index = None if index_num == 0b100 else Reg(index_num, 64)
+        index = None if index_num == 0b100 else GPR64[index_num]
         if (sib & 0b111) == 0b101 and mod == 0b00:
             disp = cur.i32()
             disp_bytes = 4
             operand = Mem(base=None, index=index, scale=scale, disp=disp, seg=seg)
         else:
-            base = Reg(base_num, 64)
+            base = GPR64[base_num]
             if mod == 0b01:
                 disp, disp_bytes = cur.i8(), 1
             elif mod == 0b10:
@@ -124,7 +197,7 @@ def _parse_modrm(
         disp_bytes = 4
         operand = Mem(disp=disp, seg=seg, rip_relative=True)
     else:
-        base = Reg(((rex & 1) << 3) | rm, 64)
+        base = GPR64[((rex & 1) << 3) | rm]
         if mod == 0b01:
             disp, disp_bytes = cur.i8(), 1
         elif mod == 0b10:
@@ -135,225 +208,334 @@ def _parse_modrm(
     return reg_field, operand, disp_bytes
 
 
-def decode_one(code: bytes, offset: int) -> Instruction:
-    """Decode a single instruction starting at *offset* within *code*."""
-    cur = _Cursor(code, offset)
+# --------------------------------------------------------------- handlers
+#
+# One function per opcode family.  Each receives the cursor (positioned
+# just past the opcode byte) and the opcode byte itself, and returns the
+# finished Instruction.  The dispatch tables below map opcode -> handler.
+
+def _h_mr(cur: _Cursor, op: int) -> Instruction:  # ALU/mov/test reg -> r/m
+    reg_field, rm_op, dbytes = _parse_modrm(cur, cur.wbits)
+    return _build(cur, _MR_MNEM[op], (cur.bank[reg_field], rm_op),
+                  disp=dbytes, modrm=True)
+
+
+def _h_rm(cur: _Cursor, op: int) -> Instruction:  # ALU/mov r/m -> reg
+    reg_field, rm_op, dbytes = _parse_modrm(cur, cur.wbits)
+    return _build(cur, _RM_MNEM[op], (rm_op, cur.bank[reg_field]),
+                  disp=dbytes, modrm=True)
+
+
+def _h_xchg(cur: _Cursor, op: int) -> Instruction:
+    reg_field, rm_op, dbytes = _parse_modrm(cur, cur.wbits)
+    return _build(cur, "xchg", (cur.bank[reg_field], rm_op),
+                  disp=dbytes, modrm=True)
+
+
+def _h_lea(cur: _Cursor, op: int) -> Instruction:
+    reg_field, rm_op, dbytes = _parse_modrm(cur, cur.wbits)
+    if not isinstance(rm_op, Mem):
+        raise DecodeError(f"lea with register operand at {cur.start:#x}")
+    return _build(cur, "lea", (rm_op, cur.bank[reg_field]),
+                  disp=dbytes, modrm=True)
+
+
+def _h_movsxd(cur: _Cursor, op: int) -> Instruction:
+    reg_field, rm_op, dbytes = _parse_modrm(cur, 32)
+    return _build(cur, "movsxd", (rm_op, GPR64[reg_field]),
+                  disp=dbytes, modrm=True)
+
+
+def _h_push(cur: _Cursor, op: int) -> Instruction:
+    return _build(cur, "push", (GPR64[((cur.rex & 1) << 3) | (op - 0x50)],))
+
+
+def _h_pop(cur: _Cursor, op: int) -> Instruction:
+    return _build(cur, "pop", (GPR64[((cur.rex & 1) << 3) | (op - 0x58)],))
+
+
+def _h_jcc8(cur: _Cursor, op: int) -> Instruction:
+    rel = cur.i8()
+    return _build(cur, CC_BY_CODE[op - 0x70], imm=1, target=cur.pos + rel)
+
+
+def _h_group1(cur: _Cursor, op: int) -> Instruction:
+    reg_field, rm_op, dbytes = _parse_modrm(cur, cur.wbits)
+    mnem = GROUP1[reg_field & 0b111]
+    if op == 0x81:
+        value, isize = cur.i32(), 4
+    else:
+        value, isize = cur.i8(), 1
+    return _build(cur, mnem, (Imm(value, isize), rm_op),
+                  disp=dbytes, imm=isize, modrm=True)
+
+
+def _h_nop(cur: _Cursor, op: int) -> Instruction:
+    return _build(cur, "nop")
+
+
+def _h_mov_imm_reg(cur: _Cursor, op: int) -> Instruction:
+    dst = cur.bank[((cur.rex & 1) << 3) | (op - 0xB8)]
+    if cur.wbits == 64:
+        value, isize = cur.i64(), 8
+    else:
+        value, isize = cur.i32(), 4
+    return _build(cur, "mov", (Imm(value, isize), dst), imm=isize)
+
+
+def _h_group2(cur: _Cursor, op: int) -> Instruction:
+    reg_field, rm_op, dbytes = _parse_modrm(cur, cur.wbits)
+    ext = reg_field & 0b111
+    if ext not in GROUP2:
+        raise DecodeError(f"unsupported shift /{ext} at {cur.start:#x}")
+    amount = cur.u8()
+    return _build(cur, GROUP2[ext], (Imm(amount, 1), rm_op),
+                  disp=dbytes, imm=1, modrm=True)
+
+
+def _h_ret(cur: _Cursor, op: int) -> Instruction:
+    return _build(cur, "ret")
+
+
+def _h_mov_imm_rm(cur: _Cursor, op: int) -> Instruction:
+    reg_field, rm_op, dbytes = _parse_modrm(cur, cur.wbits)
+    if reg_field & 0b111:
+        raise DecodeError(f"unsupported opcode c7 /{reg_field & 7} at {cur.start:#x}")
+    value = cur.i32()
+    return _build(cur, "mov", (Imm(value, 4), rm_op),
+                  disp=dbytes, imm=4, modrm=True)
+
+
+def _h_leave(cur: _Cursor, op: int) -> Instruction:
+    return _build(cur, "leave")
+
+
+def _h_int3(cur: _Cursor, op: int) -> Instruction:
+    return _build(cur, "int3")
+
+
+def _h_call_rel32(cur: _Cursor, op: int) -> Instruction:
+    rel = cur.i32()
+    return _build(cur, "callq", imm=4, target=cur.pos + rel)
+
+
+def _h_jmp_rel32(cur: _Cursor, op: int) -> Instruction:
+    rel = cur.i32()
+    return _build(cur, "jmpq", imm=4, target=cur.pos + rel)
+
+
+def _h_jmp_rel8(cur: _Cursor, op: int) -> Instruction:
+    rel = cur.i8()
+    return _build(cur, "jmpq", imm=1, target=cur.pos + rel)
+
+
+def _h_hlt(cur: _Cursor, op: int) -> Instruction:
+    return _build(cur, "hlt")
+
+
+def _h_group3(cur: _Cursor, op: int) -> Instruction:
+    reg_field, rm_op, dbytes = _parse_modrm(cur, cur.wbits)
+    ext = reg_field & 0b111
+    if ext not in GROUP3:
+        raise DecodeError(f"unsupported opcode f7 /{ext} at {cur.start:#x}")
+    if ext == 0:  # test imm32
+        value = cur.i32()
+        return _build(cur, "test", (Imm(value, 4), rm_op),
+                      disp=dbytes, imm=4, modrm=True)
+    return _build(cur, GROUP3[ext], (rm_op,), disp=dbytes, modrm=True)
+
+
+def _h_group5(cur: _Cursor, op: int) -> Instruction:
+    reg_field, rm_op, dbytes = _parse_modrm(cur, 64)
+    ext = reg_field & 0b111
+    if ext not in GROUP5:
+        raise DecodeError(f"unsupported opcode ff /{ext} at {cur.start:#x}")
+    mnem = GROUP5[ext]
+    if mnem in ("inc", "dec") and isinstance(rm_op, Reg):
+        rm_op = cur.bank[rm_op.num]
+    return _build(cur, mnem, (rm_op,), disp=dbytes, modrm=True)
+
+
+# -- two-byte (0F) page -------------------------------------------------
+
+def _h_twobyte(cur: _Cursor, op: int) -> Instruction:
+    op2 = cur.u8()
+    cur.n_opcode = 2
+    handler = _DISPATCH_0F[op2]
+    if handler is None:
+        raise DecodeError(
+            f"unsupported two-byte opcode 0f {op2:02x} at {cur.start:#x}"
+        )
+    return handler(cur, op2)
+
+
+def _h_syscall(cur: _Cursor, op2: int) -> Instruction:
+    return _build(cur, "syscall")
+
+
+def _h_ud2(cur: _Cursor, op2: int) -> Instruction:
+    return _build(cur, "ud2")
+
+
+def _h_nopl(cur: _Cursor, op2: int) -> Instruction:
+    _, rm_op, dbytes = _parse_modrm(cur, cur.wbits)
+    return _build(cur, "nopl", (rm_op,), disp=dbytes, modrm=True)
+
+
+def _h_cmov(cur: _Cursor, op2: int) -> Instruction:
+    reg_field, rm_op, dbytes = _parse_modrm(cur, cur.wbits)
+    return _build(cur, _CMOV_MNEM[op2 - 0x40], (rm_op, cur.bank[reg_field]),
+                  disp=dbytes, modrm=True)
+
+
+def _h_jcc32(cur: _Cursor, op2: int) -> Instruction:
+    rel = cur.i32()
+    return _build(cur, CC_BY_CODE[op2 - 0x80], imm=4, target=cur.pos + rel)
+
+
+def _h_imul(cur: _Cursor, op2: int) -> Instruction:
+    reg_field, rm_op, dbytes = _parse_modrm(cur, cur.wbits)
+    return _build(cur, "imul", (rm_op, cur.bank[reg_field]),
+                  disp=dbytes, modrm=True)
+
+
+# ------------------------------------------------------- dispatch tables
+
+_DISPATCH: list = [None] * 256
+_DISPATCH_0F: list = [None] * 256
+
+for _op in _MR_MNEM:
+    _DISPATCH[_op] = _h_mr
+for _op in _RM_MNEM:
+    _DISPATCH[_op] = _h_rm
+_DISPATCH[0x0F] = _h_twobyte
+for _op in range(0x50, 0x58):
+    _DISPATCH[_op] = _h_push
+for _op in range(0x58, 0x60):
+    _DISPATCH[_op] = _h_pop
+_DISPATCH[0x63] = _h_movsxd
+for _op in range(0x70, 0x80):
+    _DISPATCH[_op] = _h_jcc8
+_DISPATCH[0x81] = _DISPATCH[0x83] = _h_group1
+_DISPATCH[0x87] = _h_xchg
+_DISPATCH[0x8D] = _h_lea
+_DISPATCH[0x90] = _h_nop
+for _op in range(0xB8, 0xC0):
+    _DISPATCH[_op] = _h_mov_imm_reg
+_DISPATCH[0xC1] = _h_group2
+_DISPATCH[0xC3] = _h_ret
+_DISPATCH[0xC7] = _h_mov_imm_rm
+_DISPATCH[0xC9] = _h_leave
+_DISPATCH[0xCC] = _h_int3
+_DISPATCH[0xE8] = _h_call_rel32
+_DISPATCH[0xE9] = _h_jmp_rel32
+_DISPATCH[0xEB] = _h_jmp_rel8
+_DISPATCH[0xF4] = _h_hlt
+_DISPATCH[0xF7] = _h_group3
+_DISPATCH[0xFF] = _h_group5
+
+_DISPATCH_0F[0x05] = _h_syscall
+_DISPATCH_0F[0x0B] = _h_ud2
+_DISPATCH_0F[0x1F] = _h_nopl
+for _op in range(0x40, 0x50):
+    _DISPATCH_0F[_op] = _h_cmov
+for _op in range(0x80, 0x90):
+    _DISPATCH_0F[_op] = _h_jcc32
+_DISPATCH_0F[0xAF] = _h_imul
+
+del _op
+
+
+# ------------------------------------------------------------ decode loop
+
+def _decode_next(cur: _Cursor) -> Instruction:
+    """Decode the instruction at the cursor, advancing it past the end."""
+    code = cur.code
+    pos = cur.start = cur.pos
+    limit = len(code)
+    if pos >= limit:
+        raise DecodeError(f"truncated instruction at offset {pos:#x}")
+    b = code[pos]
 
     # -- legacy prefixes --------------------------------------------------
     seg: str | None = None
     opsize = False
     n_prefix = 0
-    while True:
-        b = cur.peek()
-        if b == PREFIX_FS:
-            if seg is not None:
-                raise DecodeError(f"duplicate segment prefix at {offset:#x}")
-            seg = "fs"
-        elif b == PREFIX_GS:
-            if seg is not None:
-                raise DecodeError(f"duplicate segment prefix at {offset:#x}")
-            seg = "gs"
-        elif b == PREFIX_OPSIZE:
+    while b == PREFIX_FS or b == PREFIX_GS or b == PREFIX_OPSIZE:
+        if b == PREFIX_OPSIZE:
             if opsize:
-                raise DecodeError(f"duplicate operand-size prefix at {offset:#x}")
+                raise DecodeError(f"duplicate operand-size prefix at {cur.start:#x}")
             opsize = True
         else:
-            break
-        cur.u8()
+            if seg is not None:
+                raise DecodeError(f"duplicate segment prefix at {cur.start:#x}")
+            seg = "fs" if b == PREFIX_FS else "gs"
+        pos += 1
         n_prefix += 1
         if n_prefix > 4:
-            raise DecodeError(f"too many prefixes at {offset:#x}")
+            raise DecodeError(f"too many prefixes at {cur.start:#x}")
+        if pos >= limit:
+            raise DecodeError(f"truncated instruction at offset {cur.start:#x}")
+        b = code[pos]
 
     # -- REX --------------------------------------------------------------
     rex = 0
-    if 0x40 <= cur.peek() <= 0x4F:
-        rex = cur.u8()
+    if 0x40 <= b <= 0x4F:
+        rex = b
         n_prefix += 1
-    wbits = 64 if rex & 0b1000 else 32
+        pos += 1
+        if pos >= limit:
+            raise DecodeError(f"truncated instruction at offset {cur.start:#x}")
+        b = code[pos]
 
-    op = cur.u8()
-    n_opcode = 1
+    cur.pos = pos + 1
+    cur.rex = rex
+    cur.seg = seg
+    cur.n_prefix = n_prefix
+    cur.n_opcode = 1
+    if rex & 0b1000:
+        cur.wbits = 64
+        cur.bank = GPR64
+    else:
+        cur.wbits = 32
+        cur.bank = GPR32
 
     # The operand-size prefix is only meaningful (and only emitted) for the
     # canonical NOP forms in our subset; anywhere else it is ambiguous.
-    if opsize and op != 0x90 and not (op == 0x0F and cur.peek() == 0x1F):
-        raise DecodeError(f"operand-size prefix on non-NOP opcode {op:#04x}")
+    if opsize and b != 0x90 and not (b == 0x0F and cur.peek() == 0x1F):
+        raise DecodeError(f"operand-size prefix on non-NOP opcode {b:#04x}")
 
-    def make(
-        mnemonic: str,
-        operands: tuple = (),
-        *,
-        disp: int = 0,
-        imm: int = 0,
-        modrm: bool = False,
-        target: int | None = None,
-        opcode_bytes: int | None = None,
-    ) -> Instruction:
-        raw = bytes(code[cur.start:cur.pos])
-        if len(raw) > _MAX_INSN:
-            raise DecodeError(f"instruction longer than 15 bytes at {offset:#x}")
-        return Instruction(
-            offset=offset,
-            raw=raw,
-            mnemonic=mnemonic,
-            operands=operands,
-            num_prefix_bytes=n_prefix,
-            num_opcode_bytes=opcode_bytes if opcode_bytes is not None else n_opcode,
-            num_displacement_bytes=disp,
-            num_immediate_bytes=imm,
-            has_modrm=modrm,
-            target=target,
-        )
+    handler = _DISPATCH[b]
+    if handler is None:
+        raise DecodeError(f"unsupported opcode {b:#04x} at offset {cur.start:#x}")
+    return handler(cur, b)
 
-    # -- two-byte opcodes ---------------------------------------------------
-    if op == 0x0F:
-        op2 = cur.u8()
-        n_opcode = 2
-        if op2 == 0x05:
-            return make("syscall")
-        if op2 == 0x0B:
-            return make("ud2")
-        if op2 == 0x1F:
-            _, rm_op, dbytes = _parse_modrm(cur, rex, seg, wbits, wbits)
-            return make("nopl", (rm_op,), disp=dbytes, modrm=True)
-        if 0x40 <= op2 <= 0x4F:
-            reg_field, rm_op, dbytes = _parse_modrm(cur, rex, seg, wbits, wbits)
-            mnem = "cmov" + CC_BY_CODE[op2 - 0x40][1:]
-            return make(mnem, (rm_op, Reg(reg_field, wbits)), disp=dbytes, modrm=True)
-        if 0x80 <= op2 <= 0x8F:
-            rel = cur.i32()
-            return make(CC_BY_CODE[op2 - 0x80], imm=4, target=cur.pos + rel)
-        if op2 == 0xAF:
-            reg_field, rm_op, dbytes = _parse_modrm(cur, rex, seg, wbits, wbits)
-            return make("imul", (rm_op, Reg(reg_field, wbits)), disp=dbytes, modrm=True)
-        raise DecodeError(f"unsupported two-byte opcode 0f {op2:02x} at {offset:#x}")
 
-    # -- one-byte opcodes ---------------------------------------------------
-    if op in _ALU_MR or op in (0x89, 0x85):
-        mnem = {0x89: "mov", 0x85: "test"}.get(op) or _ALU_MR[op]
-        reg_field, rm_op, dbytes = _parse_modrm(cur, rex, seg, wbits, wbits)
-        return make(mnem, (Reg(reg_field, wbits), rm_op), disp=dbytes, modrm=True)
-
-    if op in _ALU_RM or op == 0x8B:
-        mnem = "mov" if op == 0x8B else _ALU_RM[op]
-        reg_field, rm_op, dbytes = _parse_modrm(cur, rex, seg, wbits, wbits)
-        return make(mnem, (rm_op, Reg(reg_field, wbits)), disp=dbytes, modrm=True)
-
-    if op == 0x87:  # xchg r/m, r
-        reg_field, rm_op, dbytes = _parse_modrm(cur, rex, seg, wbits, wbits)
-        return make("xchg", (Reg(reg_field, wbits), rm_op), disp=dbytes, modrm=True)
-
-    if op == 0x8D:  # lea
-        reg_field, rm_op, dbytes = _parse_modrm(cur, rex, seg, wbits, wbits)
-        if not isinstance(rm_op, Mem):
-            raise DecodeError(f"lea with register operand at {offset:#x}")
-        return make("lea", (rm_op, Reg(reg_field, wbits)), disp=dbytes, modrm=True)
-
-    if op == 0x63:  # movsxd
-        reg_field, rm_op, dbytes = _parse_modrm(cur, rex, seg, 64, 32)
-        return make("movsxd", (rm_op, Reg(reg_field, 64)), disp=dbytes, modrm=True)
-
-    if 0x50 <= op <= 0x57:
-        return make("push", (Reg(((rex & 1) << 3) | (op - 0x50), 64),))
-    if 0x58 <= op <= 0x5F:
-        return make("pop", (Reg(((rex & 1) << 3) | (op - 0x58), 64),))
-
-    if 0x70 <= op <= 0x7F:
-        rel = cur.i8()
-        return make(CC_BY_CODE[op - 0x70], imm=1, target=cur.pos + rel)
-
-    if op in (0x81, 0x83):  # group 1
-        reg_field, rm_op, dbytes = _parse_modrm(cur, rex, seg, wbits, wbits)
-        mnem = GROUP1[reg_field & 0b111]
-        if op == 0x81:
-            value, isize = cur.i32(), 4
-        else:
-            value, isize = cur.i8(), 1
-        return make(mnem, (Imm(value, isize), rm_op), disp=dbytes, imm=isize, modrm=True)
-
-    if op == 0x90:
-        return make("nop")
-
-    if 0xB8 <= op <= 0xBF:  # mov imm -> reg
-        dst = Reg(((rex & 1) << 3) | (op - 0xB8), wbits)
-        if wbits == 64:
-            value, isize = cur.i64(), 8
-        else:
-            value, isize = cur.i32(), 4
-        return make("mov", (Imm(value, isize), dst), imm=isize)
-
-    if op == 0xC1:  # group 2 shifts, imm8
-        reg_field, rm_op, dbytes = _parse_modrm(cur, rex, seg, wbits, wbits)
-        ext = reg_field & 0b111
-        if ext not in GROUP2:
-            raise DecodeError(f"unsupported shift /{ext} at {offset:#x}")
-        amount = cur.u8()
-        return make(GROUP2[ext], (Imm(amount, 1), rm_op), disp=dbytes, imm=1, modrm=True)
-
-    if op == 0xC3:
-        return make("ret")
-
-    if op == 0xC7:  # mov imm32 -> r/m
-        reg_field, rm_op, dbytes = _parse_modrm(cur, rex, seg, wbits, wbits)
-        if reg_field & 0b111:
-            raise DecodeError(f"unsupported opcode c7 /{reg_field & 7} at {offset:#x}")
-        value = cur.i32()
-        return make("mov", (Imm(value, 4), rm_op), disp=dbytes, imm=4, modrm=True)
-
-    if op == 0xC9:
-        return make("leave")
-
-    if op == 0xCC:
-        return make("int3")
-
-    if op == 0xE8:
-        rel = cur.i32()
-        return make("callq", imm=4, target=cur.pos + rel)
-    if op == 0xE9:
-        rel = cur.i32()
-        return make("jmpq", imm=4, target=cur.pos + rel)
-    if op == 0xEB:
-        rel = cur.i8()
-        return make("jmpq", imm=1, target=cur.pos + rel)
-
-    if op == 0xF4:
-        return make("hlt")
-
-    if op == 0xF7:  # group 3
-        reg_field, rm_op, dbytes = _parse_modrm(cur, rex, seg, wbits, wbits)
-        ext = reg_field & 0b111
-        if ext not in GROUP3:
-            raise DecodeError(f"unsupported opcode f7 /{ext} at {offset:#x}")
-        if ext == 0:  # test imm32
-            value = cur.i32()
-            return make("test", (Imm(value, 4), rm_op), disp=dbytes, imm=4, modrm=True)
-        return make(GROUP3[ext], (rm_op,), disp=dbytes, modrm=True)
-
-    if op == 0xFF:  # group 5
-        reg_field, rm_op, dbytes = _parse_modrm(cur, rex, seg, wbits, 64)
-        ext = reg_field & 0b111
-        if ext not in GROUP5:
-            raise DecodeError(f"unsupported opcode ff /{ext} at {offset:#x}")
-        mnem = GROUP5[ext]
-        if mnem in ("inc", "dec") and isinstance(rm_op, Reg):
-            rm_op = Reg(rm_op.num, wbits)
-        return make(mnem, (rm_op,), disp=dbytes, modrm=True)
-
-    raise DecodeError(f"unsupported opcode {op:#04x} at offset {offset:#x}")
+def decode_one(code: bytes, offset: int) -> Instruction:
+    """Decode a single instruction starting at *offset* within *code*."""
+    if type(code) is not bytes:
+        code = bytes(code)
+    return _decode_next(_Cursor(code, offset))
 
 
 def iter_decode(code: bytes, start: int = 0, end: int | None = None) -> Iterator[Instruction]:
-    """Linearly decode [start, end) — the NaCl 'sequential decode' pass."""
+    """Linearly decode [start, end) — the NaCl 'sequential decode' pass.
+
+    Runs a single resumable cursor over the region: each instruction picks
+    up exactly where the previous one ended, with no per-instruction
+    cursor construction or re-slicing.
+    """
+    if type(code) is not bytes:
+        code = bytes(code)
     end = len(code) if end is None else end
-    pos = start
-    while pos < end:
-        insn = decode_one(code, pos)
+    cur = _Cursor(code, start)
+    while cur.pos < end:
+        insn = _decode_next(cur)
         if insn.end > end:
             raise DecodeError(
-                f"instruction at {pos:#x} extends past region end {end:#x}"
+                f"instruction at {insn.offset:#x} extends past region end {end:#x}"
             )
         yield insn
-        pos = insn.end
 
 
 def decode_all(code: bytes, start: int = 0, end: int | None = None) -> list[Instruction]:

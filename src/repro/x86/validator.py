@@ -37,12 +37,18 @@ def check_bundles(instructions: list[Instruction], bundle_size: int = BUNDLE_SIZ
             )
 
 
-def check_targets(instructions: list[Instruction]) -> set[int]:
+def check_targets(
+    instructions: list[Instruction],
+    starts: "set[int] | None" = None,
+) -> set[int]:
     """Check all static branch targets land on instruction starts.
 
-    Returns the set of valid instruction-start offsets for reuse.
+    Returns the set of valid instruction-start offsets for reuse.  Pass a
+    precomputed *starts* set (or dict keyed by offset) to skip rebuilding
+    it.
     """
-    starts = {insn.offset for insn in instructions}
+    if starts is None:
+        starts = {insn.offset for insn in instructions}
     for insn in instructions:
         if insn.target is None:
             continue
@@ -58,14 +64,17 @@ def check_reachability(
     instructions: list[Instruction],
     entry: int = 0,
     roots: Iterable[int] = (),
+    by_offset: "dict[int, int] | None" = None,
 ) -> None:
     """Check every instruction is reachable from *entry* or a root.
 
     NOP padding inserted for bundle alignment after an unconditional
     terminator is exempt (it can never execute, and compilers routinely
-    emit it); everything else must be reachable.
+    emit it); everything else must be reachable.  Pass a precomputed
+    offset->index map as *by_offset* to skip rebuilding it.
     """
-    by_offset = {insn.offset: i for i, insn in enumerate(instructions)}
+    if by_offset is None:
+        by_offset = {insn.offset: i for i, insn in enumerate(instructions)}
     if entry not in by_offset and instructions:
         raise ValidationError(f"entry point {entry:#x} is not an instruction start")
 
@@ -112,5 +121,8 @@ def validate(
     if not instructions:
         raise ValidationError("empty instruction stream")
     check_bundles(instructions, bundle_size)
-    check_targets(instructions)
-    check_reachability(instructions, entry, roots)
+    # The offset->index map serves both as the target start-set and the
+    # reachability index — built once for the whole validation.
+    by_offset = {insn.offset: i for i, insn in enumerate(instructions)}
+    check_targets(instructions, by_offset.keys())
+    check_reachability(instructions, entry, roots, by_offset)

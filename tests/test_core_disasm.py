@@ -134,3 +134,41 @@ class TestCycleCharging:
             return meter.total_cycles
 
         assert run() == run()
+
+
+class TestTextSectionArity:
+    """The one-text-section check must run before any indexing (PR 3
+    reordered it so multi-/zero-text images reject with stage="disasm"
+    instead of depending on parse order)."""
+
+    def test_multi_text_image_rejects_with_disasm_stage(self, disassembler):
+        import dataclasses
+
+        from repro.elf import read_elf
+
+        image = read_elf(tiny_elf())
+        clone = dataclasses.replace(
+            image.text_sections[0], name=".text.clone"
+        )
+        multi = dataclasses.replace(
+            image, sections=image.sections + [clone]
+        )
+        assert len(multi.text_sections) == 2
+        with pytest.raises(RejectionError) as excinfo:
+            disassembler.disassemble(multi)
+        assert excinfo.value.stage == "disasm"
+
+    def test_textless_image_rejects_instead_of_crashing(self, disassembler):
+        import dataclasses
+
+        from repro.elf import read_elf
+
+        image = read_elf(tiny_elf())
+        textless = dataclasses.replace(
+            image, sections=[s for s in image.sections if not s.is_text]
+        )
+        assert not textless.text_sections
+        # Indexing text_sections[0] first would raise IndexError here.
+        with pytest.raises(RejectionError) as excinfo:
+            disassembler.disassemble(textless)
+        assert excinfo.value.stage == "disasm"

@@ -123,3 +123,112 @@ class TestPolicyResult:
         a = PolicyRegistry([IfccPolicy(backward_window=12)])
         b = PolicyRegistry([IfccPolicy(backward_window=13)])
         assert a.digest_material() != b.digest_material()
+
+
+class TestSortedStartsCacheCoherence:
+    """PR 3 satellite: ``import bisect`` is hoisted to module level and the
+    sorted-starts cache must stay coherent when inserts and lookups
+    interleave arbitrarily."""
+
+    def test_bisect_is_module_level(self):
+        import bisect as bisect_mod
+        import inspect as inspect_mod
+
+        import repro.core.policy as policy_mod
+
+        assert policy_mod.bisect is bisect_mod
+        source = inspect_mod.getsource(
+            SymbolHashTable.next_function_start
+        )
+        assert "import bisect" not in source
+
+    def test_interleaved_insert_lookup(self):
+        table = SymbolHashTable(CycleMeter())
+        table.insert(0x400, "d")
+        assert table.next_function_start(0) == 0x400
+        table.insert(0x100, "a")
+        assert table.next_function_start(0) == 0x100
+        assert table.next_function_start(0x100) == 0x400
+        table.insert(0x200, "b")
+        table.insert(0x300, "c")
+        assert table.next_function_start(0x100) == 0x200
+        assert table.next_function_start(0x250) == 0x300
+        table.insert(0x50, "e")
+        assert table.next_function_start(0) == 0x50
+        assert table.next_function_start(0x400) is None
+
+    def test_interleaving_matches_fresh_table(self):
+        """Any insert/lookup interleaving answers as if freshly built."""
+        addrs = [0x500, 0x80, 0x320, 0x40, 0x260, 0x700, 0x10]
+        table = SymbolHashTable(CycleMeter())
+        inserted: list[int] = []
+        for addr in addrs:
+            table.insert(addr, f"f{addr:x}")
+            inserted.append(addr)
+            ordered = sorted(inserted)
+            for probe in (0, addr - 1, addr, addr + 1, 0x1000):
+                expected = next(
+                    (a for a in ordered if a > probe), None
+                )
+                assert table.next_function_start(probe) == expected, (
+                    f"probe {probe:#x} after inserting {addr:#x}"
+                )
+
+
+class TestCachedContextEquivalence:
+    """PR 3 satellite: the shared prescan (``cached=True``) must answer and
+    charge exactly like the uncached per-policy walk."""
+
+    @pytest.fixture()
+    def result(self, demo_plain):
+        meter = CycleMeter()
+        return Disassembler(meter).run(demo_plain.elf), meter
+
+    def test_call_site_views_match_manual_scan(self, result):
+        disasm, meter = result
+        cached = disasm.policy_context(meter, cached=True)
+        uncached = disasm.policy_context(CycleMeter(), cached=False)
+
+        direct = [
+            insn for insn in cached.instructions if insn.is_direct_call
+        ]
+        indirect = [
+            i for i, insn in enumerate(cached.instructions)
+            if insn.is_indirect_call or insn.is_indirect_jump
+        ]
+        assert cached.direct_calls() == direct
+        assert cached.indirect_calls() == indirect
+        assert uncached.direct_calls() == direct
+        assert uncached.indirect_calls() == indirect
+        # The cached views are computed once and then reused.
+        assert cached.direct_calls() is cached.direct_calls()
+
+    def test_function_extent_charges_identically_when_cached(self, demo_plain):
+        # One meter per pipeline, as in production: the symtab boundary
+        # probe and the walk charges must land on the same meter.
+        def extent_charges(cached: bool):
+            meter = CycleMeter()
+            ctx = Disassembler(meter).run(demo_plain.elf).policy_context(
+                meter, cached=cached
+            )
+            starts = [addr for addr, _name in ctx.function_starts()]
+            before = meter.total_cycles
+            # Hit every extent twice: the second cached round hits the
+            # cache yet must charge the same cycles as the uncached walk.
+            extents = [
+                ctx.function_extent(start)
+                for _round in range(2) for start in starts
+            ]
+            return extents, meter.total_cycles - before
+
+        extents_c, cycles_c = extent_charges(cached=True)
+        extents_u, cycles_u = extent_charges(cached=False)
+        assert extents_c == extents_u
+        assert cycles_c == cycles_u
+
+    def test_function_starts_cached_view_matches(self, result):
+        disasm, meter = result
+        cached = disasm.policy_context(meter, cached=True)
+        uncached = disasm.policy_context(CycleMeter(), cached=False)
+        assert cached.function_starts() == uncached.function_starts()
+        assert cached.function_starts() is cached.function_starts()
