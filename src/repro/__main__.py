@@ -10,6 +10,9 @@ Usage::
         --repeats 3 --scale 0.1     # batched service + verdict cache
     python -m repro profile --scale 0.1 --top 20
                                     # cProfile the inspection hot path
+    python -m repro chaos --seeds 0,1,2,3,4 --corpus-size 54
+                                    # seeded fault-injection soak; exits
+                                    # non-zero on any fail-closed violation
 """
 
 from __future__ import annotations
@@ -95,11 +98,65 @@ def _profile(args) -> int:
     return 0
 
 
+def _chaos(args) -> int:
+    """``python -m repro chaos``: the seeded fault-injection soak.
+
+    Inspects a deterministic variant corpus once per seed under a
+    randomized fault plan and fails (exit 1) on any false accept, hang,
+    or untyped failure — printing the offending seed so the run can be
+    replayed exactly (docs/RESILIENCE.md walks through the workflow).
+    """
+    from .core.policy import PolicyRegistry
+    from .faults.chaos import run_soak
+    from .harness.runner import make_policy
+    from .service.corpus import generate_variant_corpus
+    from .toolchain import build_libc
+
+    t0 = time.time()
+    libc = build_libc()
+    policies = PolicyRegistry([make_policy(args.policy, libc)])
+    corpus = generate_variant_corpus(args.corpus_size, libc=libc)
+    result = run_soak(
+        policies,
+        corpus,
+        seeds=args.seeds,
+        n_specs=args.fault_specs,
+        probability=args.fault_probability,
+        retries=args.retries,
+        deadline=args.deadline,
+        quarantine_threshold=args.quarantine_threshold,
+        max_wall_seconds=args.max_wall,
+    )
+    for line in result.summary_lines():
+        print(line)
+    print(f"({time.time() - t0:.0f}s wall)")
+    if not result.ok:
+        print(
+            f"FAIL: {len(result.violations)} fail-closed violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: 0 false accepts, 0 hangs, 0 untyped failures")
+    return 0
+
+
 def _positive_int(value: str) -> int:
     n = int(value)
     if n < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
     return n
+
+
+def _seed_list(value: str) -> list[int]:
+    try:
+        seeds = [int(s) for s in value.split(",") if s.strip() != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"seeds must be comma-separated integers, got {value!r}"
+        )
+    if not seeds:
+        raise argparse.ArgumentTypeError("at least one seed is required")
+    return seeds
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -110,10 +167,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "target",
         choices=["fig2", "fig3", "fig4", "fig5", "all", "demo",
-                 "inspect-batch", "profile"],
+                 "inspect-batch", "profile", "chaos"],
         help="which table/figure to regenerate, 'inspect-batch' to "
-             "drive the batched inspection service, or 'profile' to "
-             "cProfile a corpus inspection and print the hot spots",
+             "drive the batched inspection service, 'profile' to "
+             "cProfile a corpus inspection and print the hot spots, or "
+             "'chaos' to run the seeded fault-injection soak",
     )
     parser.add_argument(
         "--scale", type=float, default=1.0,
@@ -149,6 +207,39 @@ def main(argv: list[str] | None = None) -> int:
         "--timeout", type=float, default=None,
         help="per-binary inspection timeout in seconds",
     )
+    chaos_group = parser.add_argument_group("chaos options")
+    chaos_group.add_argument(
+        "--seeds", type=_seed_list, default="0,1,2,3,4",
+        help="comma-separated fault-plan seeds (one corpus pass each)",
+    )
+    chaos_group.add_argument(
+        "--corpus-size", type=_positive_int, default=54,
+        help="variant-corpus size for the soak",
+    )
+    chaos_group.add_argument(
+        "--fault-specs", type=_positive_int, default=8,
+        help="fault specs drawn per randomized plan",
+    )
+    chaos_group.add_argument(
+        "--fault-probability", type=float, default=0.35,
+        help="per-call firing probability of each fault spec",
+    )
+    chaos_group.add_argument(
+        "--retries", type=int, default=1,
+        help="service retries per item during the soak",
+    )
+    chaos_group.add_argument(
+        "--deadline", type=float, default=5.0,
+        help="per-item deadline in (fake-clock) seconds",
+    )
+    chaos_group.add_argument(
+        "--quarantine-threshold", type=_positive_int, default=None,
+        help="consecutive failures before a binary is quarantined",
+    )
+    chaos_group.add_argument(
+        "--max-wall", type=float, default=60.0,
+        help="real seconds per seed pass before it counts as a hang",
+    )
     profile_group = parser.add_argument_group("profile options")
     profile_group.add_argument(
         "--benchmark", default="nginx",
@@ -162,6 +253,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.target == "profile":
         return _profile(args)
+
+    if args.target == "chaos":
+        return _chaos(args)
 
     if args.target == "inspect-batch":
         from .harness.runner import run_batch

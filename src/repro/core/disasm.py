@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from ..elf import ElfImage, read_elf
 from ..errors import DecodeError, ElfError, RejectionError, ValidationError
+from ..faults import hooks as _faults
 from ..sgx.cpu import CycleMeter
 from ..sgx.params import PAGE_SIZE
 from ..x86 import Instruction, iter_decode, validate
@@ -212,8 +213,13 @@ class Disassembler:
         buffer_bytes_used = 0
         buffer_pages = 0
         n_bytes = 0
+        # Hot path: the per-instruction fault hook only exists when a plan
+        # actually watches the decoder — zero overhead otherwise.
+        hooked = _faults.wants("x86.decoder")
         try:
             for insn in iter_decode(code, 0, len(code)):
+                if hooked:
+                    _faults.fault_hook("x86.decoder", error=DecodeError)
                 n_bytes += insn.length
                 # Dynamic buffer bookkeeping: allocate via the trampoline
                 # page-at-a-time (or per record, for the ablation).
@@ -249,9 +255,12 @@ class Disassembler:
         buffer_bytes_used = 0
         buffer_pages = 0
         pos = 0
+        hooked = _faults.wants("x86.decoder")
         try:
             while pos < len(code):
                 insn = ref_decode_one(code, pos)
+                if hooked:
+                    _faults.fault_hook("x86.decoder", error=DecodeError)
                 if insn.end > len(code):
                     raise DecodeError("instruction extends past section end")
                 meter.charge("decode_byte", insn.length)

@@ -25,7 +25,16 @@ from dataclasses import dataclass, field
 
 from ..crypto import HmacDrbg
 from ..crypto.channel import SecureChannel, ServerHandshake, client_handshake
-from ..errors import AttestationError, ProtocolError
+from ..crypto.rsa import RsaPrivateKey
+from ..errors import (
+    AttestationError,
+    CryptoError,
+    NetError,
+    ProtocolError,
+    ReproError,
+)
+from ..faults.clock import Clock, SystemClock
+from ..faults.hooks import fault_hook
 from ..net import SocketPair
 from ..sgx import (
     HostOS,
@@ -44,6 +53,7 @@ from .report import ComplianceReport
 
 __all__ = [
     "CloudProvider", "EnclaveClient", "ProvisioningResult", "provision",
+    "ResilienceConfig",
     "expected_mrenclave", "ENCLAVE_BASE", "DEFAULT_ENCLAVE_PAGES",
 ]
 
@@ -94,6 +104,38 @@ def expected_mrenclave(
     return m.finalize()
 
 
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """How hard the provisioning transport tries before failing closed.
+
+    With a config in play, a corrupt/dropped/reordered content record
+    triggers up to *max_retransmits* retransmit rounds (client rewinds
+    its channel's resend window) with exponential backoff on *clock*,
+    and any failure that survives — transport, protocol, or machinery —
+    is converted into a typed REJECT verdict instead of an exception.
+    """
+
+    max_retransmits: int = 3
+    backoff_base: float = 0.05
+    clock: Clock = field(default_factory=SystemClock)
+
+
+#: exception type -> rejection stage reported when resilience fails closed
+_FAIL_CLOSED_STAGES = (
+    (CryptoError, "channel"),
+    (NetError, "channel"),
+    (ProtocolError, "protocol"),
+    (AttestationError, "attestation"),
+)
+
+
+def _fail_closed_stage(exc: ReproError) -> str:
+    for err_type, stage in _FAIL_CLOSED_STAGES:
+        if isinstance(exc, err_type):
+            return stage
+    return "machinery"
+
+
 @dataclass
 class ProvisioningSession:
     """Provider-side state for one enclave being provisioned."""
@@ -117,6 +159,8 @@ class ProvisioningResult:
     runtime: EnclaveRuntime | None
     #: what the client's side concluded (must match `report`)
     client_verdict: ComplianceReport | None = None
+    #: typed-error text when a resilient run failed closed (else None)
+    error: str | None = None
 
 
 class CloudProvider:
@@ -133,6 +177,7 @@ class CloudProvider:
         client_pages: int = 2048,
         enclave_pages: int = DEFAULT_ENCLAVE_PAGES,
         per_insn_malloc: bool = False,
+        channel_keypair: RsaPrivateKey | None = None,
     ) -> None:
         self.policies = policies
         self.params = params or SgxParams()
@@ -147,6 +192,8 @@ class CloudProvider:
         self.client_pages = client_pages
         self.enclave_pages = enclave_pages
         self.per_insn_malloc = per_insn_malloc
+        #: pre-generated channel keypair (tests reuse one to skip keygen)
+        self.channel_keypair = channel_keypair
 
     def start_session(
         self, sock, *, benchmark: str = "client"
@@ -174,8 +221,10 @@ class CloudProvider:
         self.machine.eenter(runtime.enclave)
         self.host.svc_socket(runtime, sock)
 
+        fault_hook("core.provisioning.handshake", error=ProtocolError)
         handshake = ServerHandshake(
-            sock, self.rng.fork(b"channel"), rsa_bits=self.rsa_bits
+            sock, self.rng.fork(b"channel"), rsa_bits=self.rsa_bits,
+            keypair=self.channel_keypair,
         )
         handshake.send_public_key()
         return ProvisioningSession(
@@ -191,10 +240,25 @@ class CloudProvider:
         report = self.machine.ereport(session.runtime.enclave, fingerprint)
         return self.quoting_enclave.quote(report, challenge)
 
-    def run_engarde(self, session: ProvisioningSession) -> ComplianceReport:
-        """Complete the handshake, receive content, run the pipeline."""
+    def run_engarde(
+        self,
+        session: ProvisioningSession,
+        *,
+        resilience: "ResilienceConfig | None" = None,
+        retransmit=None,
+    ) -> ComplianceReport:
+        """Complete the handshake, receive content, run the pipeline.
+
+        *retransmit* is the client-side callback ``fn(from_seq)`` the
+        resilient receive path invokes after flushing a broken stream;
+        without a :class:`ResilienceConfig` any transport failure
+        propagates exactly as before.
+        """
+        fault_hook("core.provisioning.handshake", error=ProtocolError)
         session.channel = session.handshake.complete()
-        raw = self._receive_content(session)
+        raw = self._receive_content(
+            session, resilience=resilience, retransmit=retransmit
+        )
         runtime = session.runtime
         session.outcome = session.engarde.inspect_and_load(
             raw,
@@ -227,7 +291,13 @@ class CloudProvider:
 
     # ------------------------------------------------------------------
 
-    def _receive_content(self, session: ProvisioningSession) -> bytes:
+    def _receive_content(
+        self,
+        session: ProvisioningSession,
+        *,
+        resilience: "ResilienceConfig | None" = None,
+        retransmit=None,
+    ) -> bytes:
         """Receive the encrypted blocks through the host trampoline."""
         runtime = session.runtime
         channel = session.channel
@@ -235,7 +305,10 @@ class CloudProvider:
         meter = self.machine.meter
 
         fd = 3  # the socket registered in start_session
-        header = self._recv_record(runtime, channel, fd, meter)
+        header = self._recv_record(
+            runtime, channel, fd, meter,
+            resilience=resilience, retransmit=retransmit,
+        )
         if len(header) != _CONTENT_HEADER.size:
             raise ProtocolError("bad content header")
         total, records = _CONTENT_HEADER.unpack(header)
@@ -244,7 +317,10 @@ class CloudProvider:
         chunks = []
         received = 0
         for _ in range(records):
-            chunk = self._recv_record(runtime, channel, fd, meter)
+            chunk = self._recv_record(
+                runtime, channel, fd, meter,
+                resilience=resilience, retransmit=retransmit,
+            )
             chunks.append(chunk)
             received += len(chunk)
         if received != total:
@@ -259,10 +335,36 @@ class CloudProvider:
         channel: SecureChannel,
         fd: int,
         meter: CycleMeter,
+        *,
+        resilience: "ResilienceConfig | None" = None,
+        retransmit=None,
     ) -> bytes:
         # Socket I/O exits the enclave (trampoline); decryption happens
         # back inside.  The AES work is charged per 16-byte block.
-        record = channel.recv()
+        #
+        # With a ResilienceConfig and a retransmit callback, a corrupt or
+        # missing record triggers bounded ARQ rounds: flush the broken
+        # stream, exponential backoff on the shared clock, ask the peer
+        # to rewind its resend window to the expected sequence number.
+        attempt = 0
+        while True:
+            try:
+                fault_hook("core.provisioning.record", error=ProtocolError)
+                record = channel.recv()
+                break
+            except (CryptoError, NetError, ProtocolError):
+                if (
+                    resilience is None
+                    or retransmit is None
+                    or attempt >= resilience.max_retransmits
+                ):
+                    raise
+                resilience.clock.sleep(
+                    resilience.backoff_base * (2 ** attempt)
+                )
+                attempt += 1
+                channel.drain_pending()
+                retransmit(channel.expected_recv_seq)
         self.host.trampoline(runtime)
         meter.charge("aes_block", max(len(record) // 16, 1))
         return record
@@ -330,6 +432,12 @@ class EnclaveClient:
         for record in records:
             self.channel.send(record)
 
+    def retransmit(self, from_seq: int) -> int:
+        """Resend every buffered record from *from_seq* (provider ARQ)."""
+        if self.channel is None:
+            raise ProtocolError("channel not established")
+        return self.channel.resend_from(from_seq)
+
     def receive_verdict(self) -> ComplianceReport:
         if self.channel is None:
             raise ProtocolError("channel not established")
@@ -340,8 +448,43 @@ class EnclaveClient:
 def provision(
     provider: CloudProvider,
     client: EnclaveClient,
+    *,
+    resilience: ResilienceConfig | None = None,
 ) -> ProvisioningResult:
-    """Drive one full provisioning exchange end to end."""
+    """Drive one full provisioning exchange end to end.
+
+    Without *resilience* this behaves exactly as the paper's protocol:
+    any transport or protocol failure raises.  With a
+    :class:`ResilienceConfig`, content records are retransmitted with
+    bounded backoff, and whatever typed failure survives is converted
+    into a REJECT verdict — a broken run can never surface as an ACCEPT.
+    """
+    if resilience is None:
+        return _provision_once(provider, client, resilience=None)
+    try:
+        return _provision_once(provider, client, resilience=resilience)
+    except ReproError as exc:
+        stage = _fail_closed_stage(exc)
+        report = ComplianceReport.rejected(
+            client.benchmark, provider.policies.names(), stage=stage
+        )
+        return ProvisioningResult(
+            accepted=False,
+            report=report,
+            outcome=InspectionOutcome(report=report),
+            meter=provider.machine.meter,
+            runtime=None,
+            client_verdict=None,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def _provision_once(
+    provider: CloudProvider,
+    client: EnclaveClient,
+    *,
+    resilience: ResilienceConfig | None,
+) -> ProvisioningResult:
     pair = SocketPair("client", "enclave")
 
     session = provider.start_session(pair.right, benchmark=client.benchmark)
@@ -360,7 +503,11 @@ def provision(
     client.open_channel(pair.left, fingerprint)
     client.send_content()
 
-    report = provider.run_engarde(session)
+    report = provider.run_engarde(
+        session,
+        resilience=resilience,
+        retransmit=client.retransmit if resilience is not None else None,
+    )
     accepted = provider.finalize(session)
     client_verdict = client.receive_verdict()
 

@@ -20,9 +20,11 @@ exchange over a :class:`~repro.net.SimSocket`.
 from __future__ import annotations
 
 import struct
+from collections import deque
 from dataclasses import dataclass
 
 from ..errors import CryptoError, ProtocolError
+from ..faults.hooks import DROP, fault_hook
 from ..net import SimSocket
 from .aes import aes_ctr
 from .mac import HmacDrbg, hmac_sha256
@@ -59,12 +61,17 @@ class SecureChannel:
     session key, so records cannot be reflected back to their sender.
     """
 
+    #: payloads kept for :meth:`resend_from` (bounds retransmit memory)
+    RESEND_WINDOW = 64
+
     def __init__(self, sock: SimSocket, session_key: bytes, *, is_server: bool) -> None:
         if len(session_key) != AES_KEY_SIZE:
             raise CryptoError(f"session key must be {AES_KEY_SIZE} bytes")
         self._sock = sock
         self._send_seq = 0
         self._recv_seq = 0
+        #: (seq, plaintext payload) of the most recent sends
+        self._sent_window: deque[tuple[int, bytes]] = deque(maxlen=self.RESEND_WINDOW)
         send_label, recv_label = (b"srv->cli", b"cli->srv") if is_server else (b"cli->srv", b"srv->cli")
         self._send_key = hmac_sha256(session_key, b"enc" + send_label)
         self._recv_key = hmac_sha256(session_key, b"enc" + recv_label)
@@ -79,18 +86,63 @@ class SecureChannel:
 
     def send(self, payload: bytes) -> None:
         """Encrypt, authenticate, and transmit one record."""
-        header = _HDR.pack(self._send_seq, len(payload))
+        self._sent_window.append((self._send_seq, payload))
+        self._transmit(self._send_seq, payload)
+        self._send_seq += 1
+
+    def _transmit(self, seq: int, payload: bytes) -> None:
+        header = _HDR.pack(seq, len(payload))
         ciphertext = aes_ctr(
             self._send_key, self._send_nonce, payload,
-            initial_counter=self._send_seq * self._CTR_WINDOW,
+            initial_counter=seq * self._CTR_WINDOW,
         )
         tag = hmac_sha256(self._send_mac, header + ciphertext)
-        self._sock.send(header + ciphertext + tag)
-        self._send_seq += 1
+        record = fault_hook(
+            "crypto.channel.send", header + ciphertext + tag, error=CryptoError
+        )
+        if record is DROP:
+            return  # the record vanished in transit; the peer fails closed
+        self._sock.send(record)
+
+    def resend_from(self, seq: int) -> int:
+        """Re-encrypt and re-transmit every buffered record from *seq* on.
+
+        The retransmit half of the provisioning ARQ: a record re-encrypted
+        under its original sequence number is byte-identical (CTR stream
+        and MAC are functions of the sequence number), so replaying the
+        window is safe.  Raises :class:`CryptoError` when *seq* has
+        already slid out of the bounded window.  Returns the number of
+        records re-sent.
+        """
+        if seq >= self._send_seq:
+            return 0
+        buffered = [entry for entry in self._sent_window if entry[0] >= seq]
+        if not buffered or buffered[0][0] != seq:
+            raise CryptoError(
+                f"cannot retransmit from seq {seq}: outside the "
+                f"{self.RESEND_WINDOW}-record resend window"
+            )
+        for record_seq, payload in buffered:
+            self._transmit(record_seq, payload)
+        return len(buffered)
+
+    @property
+    def expected_recv_seq(self) -> int:
+        """The sequence number the next :meth:`recv` will insist on."""
+        return self._recv_seq
+
+    def drain_pending(self) -> int:
+        """Flush queued frames after a broken record (pre-retransmit)."""
+        return self._sock.drain()
 
     def recv(self) -> bytes:
         """Receive, verify, and decrypt one record."""
-        record = self._sock.recv()
+        record = fault_hook("crypto.channel.recv", self._sock.recv(),
+                            error=CryptoError)
+        if record is DROP:
+            raise CryptoError(
+                "[fault:crypto.channel.recv:drop] record lost before receipt"
+            )
         if len(record) < _HDR.size + TAG_SIZE:
             raise CryptoError("record too short")
         header = record[:_HDR.size]

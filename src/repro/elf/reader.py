@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ElfError
+from ..faults.hooks import DROP, fault_hook
 from .constants import (
     DT_NULL, DT_RELA, DT_RELAENT, DT_RELASZ,
     ELF_MAGIC, ELFCLASS64, ELFDATA2LSB, EM_X86_64, ET_DYN,
@@ -132,6 +133,9 @@ def _cstr(blob: bytes, offset: int) -> str:
 def read_elf(raw: bytes) -> ElfImage:
     """Parse and validate an ELF64 image, raising :class:`ElfError` on any
     malformation EnGarde is specified to reject."""
+    raw = fault_hook("elf.reader", raw, error=ElfError)
+    if raw is DROP:
+        raise ElfError("[fault:elf.reader:drop] image vanished before parsing")
     ehdr = Ehdr.unpack(raw)
 
     # -- the paper's header checks ----------------------------------------

@@ -74,6 +74,36 @@ class PolicyError(ReproError):
     """A policy module could not run (missing symbol table, bad config)."""
 
 
+class ServiceError(ReproError):
+    """The provider-side inspection service failed outside the pipeline."""
+
+
+class WorkerCrashError(ServiceError):
+    """An inspection worker died (or was made to die) mid-verdict."""
+
+
+class DeadlineExceededError(ServiceError):
+    """An inspection exceeded its per-item deadline across all retries."""
+
+
+class QuarantinedError(ServiceError):
+    """A binary was refused because repeated failures quarantined it."""
+
+
+class InjectedFault(ReproError):
+    """A fault deliberately injected by :mod:`repro.faults`.
+
+    Raised at hook points whose call site supplied no more specific typed
+    error; carries the hook point and fault kind so failure reports can
+    name the originating stage.
+    """
+
+    def __init__(self, message: str, *, hook: str = "?", kind: str = "?") -> None:
+        super().__init__(message)
+        self.hook = hook
+        self.kind = kind
+
+
 class RejectionError(ReproError):
     """The client's content was rejected.
 

@@ -1,0 +1,40 @@
+"""Deterministic fault injection for resilience testing.
+
+The paper's trust argument only holds if inspection *fails closed*: no
+malformed input, dropped frame, crashed worker, or hung stage may ever
+surface as a spurious ACCEPT.  This package provides the machinery to
+provoke exactly those failures on demand and deterministically:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultSpec`,
+  seeded per-spec PRNGs, JSON round-trip;
+* :mod:`repro.faults.hooks` — the process-global registry and the
+  ``fault_hook`` call sites threaded through the layers;
+* :mod:`repro.faults.clock` — injectable real/fake clocks shared by
+  fault delays and the service's retry/deadline logic;
+* :mod:`repro.faults.chaos` — the randomized chaos-soak runner behind
+  ``python -m repro chaos`` (imported lazily; it depends on the service
+  layer, which itself uses this package).
+
+See ``docs/RESILIENCE.md`` for the hook-point catalogue and replay
+instructions.
+"""
+
+from .clock import Clock, FakeClock, SystemClock
+from .hooks import (
+    DROP,
+    HOOK_POINTS,
+    active_plan,
+    fault_hook,
+    injected,
+    install,
+    uninstall,
+    wants,
+)
+from .plan import FAULT_KINDS, FaultEvent, FaultPlan, FaultSpec
+
+__all__ = [
+    "Clock", "FakeClock", "SystemClock",
+    "DROP", "HOOK_POINTS", "active_plan", "fault_hook", "injected",
+    "install", "uninstall", "wants",
+    "FAULT_KINDS", "FaultEvent", "FaultPlan", "FaultSpec",
+]

@@ -1,0 +1,241 @@
+"""The chaos soak: randomized fault plans vs. the fail-closed contract.
+
+One soak run takes a corpus of binaries whose *clean* verdicts are known,
+then re-inspects the whole corpus once per seed under a randomized
+:class:`~repro.faults.plan.FaultPlan` and checks the only three properties
+that matter:
+
+1. **No false accepts** — a faulted run may accept a binary only if the
+   un-faulted inspection of the same bytes accepts it.  Every other
+   outcome of a fault must be a REJECT or a typed error.
+2. **No hangs** — injected hangs/delays burn a shared
+   :class:`~repro.faults.clock.FakeClock`, so a correct service finishes
+   in bounded *real* time; a seed exceeding ``max_wall_seconds`` of wall
+   clock is reported as a hang.
+3. **No untyped failures** — every errored item must carry the typed
+   ``ExcName: detail`` text the service layer produces (and the batch
+   report must still serialize to valid JSON).
+
+Everything is derived from the seed: print it, and
+``repro chaos --seeds <seed>`` replays the identical run (see
+``docs/RESILIENCE.md``).  Both the ``repro chaos`` CLI subcommand and
+``benchmarks/bench_chaos_soak.py`` are thin wrappers over
+:func:`run_soak`; the CI chaos job calls the CLI with a hard timeout.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from dataclasses import dataclass, field
+
+from ..core.policy import PolicyRegistry
+from ..service.batch import BatchInspector, BatchReport
+from .clock import FakeClock
+from .hooks import injected
+from .plan import FaultPlan
+
+__all__ = [
+    "PIPELINE_HOOKS", "ChaosViolation", "SeedOutcome", "SoakResult",
+    "run_soak",
+]
+
+#: hook points a serial batch inspection actually flows through
+PIPELINE_HOOKS = (
+    "elf.reader",
+    "x86.decoder",
+    "sgx.epc.alloc",
+    "service.batch.worker",
+    "service.batch.verdict",
+)
+
+#: errored items must carry typed ``ExcName: detail`` text
+_TYPED_ERROR = re.compile(
+    r"^[A-Za-z_][A-Za-z0-9_]*(Error|Exception|Fault)\b"
+    r"|^inspection exceeded "  # the pool-timeout text is typed by construction
+)
+
+
+@dataclass(frozen=True)
+class ChaosViolation:
+    """One broken fail-closed property (the soak's unit of failure)."""
+
+    seed: int
+    kind: str          # false-accept | hang | untyped-error | uncaught | report-corrupt
+    label: str         # corpus item label, or "<batch>" for whole-run failures
+    detail: str
+
+
+@dataclass
+class SeedOutcome:
+    """Accounting for one corpus pass under one randomized plan."""
+
+    seed: int
+    faults_fired: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    errors: int = 0
+    wall_seconds: float = 0.0
+    violations: list[ChaosViolation] = field(default_factory=list)
+
+
+@dataclass
+class SoakResult:
+    """Everything :func:`run_soak` measured, across all seeds."""
+
+    items: int
+    outcomes: list[SeedOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def violations(self) -> list[ChaosViolation]:
+        return [v for o in self.outcomes for v in o.violations]
+
+    @property
+    def faults_fired(self) -> int:
+        return sum(o.faults_fired for o in self.outcomes)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"chaos soak: {len(self.outcomes)} seed(s) x {self.items} "
+            f"binaries, {self.faults_fired} faults fired, "
+            f"{self.wall_seconds:.2f}s wall",
+        ]
+        for o in self.outcomes:
+            lines.append(
+                f"  seed {o.seed}: {o.faults_fired} faults, "
+                f"{o.accepted} accepted / {o.rejected} rejected / "
+                f"{o.errors} errors, {o.wall_seconds:.2f}s"
+                + (f", {len(o.violations)} VIOLATION(S)" if o.violations else "")
+            )
+        for v in self.violations:
+            lines.append(
+                f"  VIOLATION[{v.kind}] seed={v.seed} item={v.label}: {v.detail}"
+            )
+        if not self.ok:
+            seeds = sorted({v.seed for v in self.violations})
+            lines.append(
+                "  reproduce with: repro chaos --seeds "
+                + ",".join(str(s) for s in seeds)
+            )
+        return lines
+
+
+def run_soak(
+    policies: PolicyRegistry,
+    corpus: list[tuple[str, bytes]],
+    *,
+    seeds=(0, 1, 2, 3, 4),
+    n_specs: int = 8,
+    probability: float = 0.35,
+    retries: int = 1,
+    deadline: float = 5.0,
+    quarantine_threshold: int | None = None,
+    max_wall_seconds: float = 60.0,
+    hooks=PIPELINE_HOOKS,
+) -> SoakResult:
+    """Soak *corpus* under one randomized fault plan per seed.
+
+    The clean baseline (no plan installed) is computed first with the
+    same serial inspector configuration; each seeded pass then compares
+    its verdicts against it.  All timing — backoff, deadlines, injected
+    hangs — runs on a :class:`FakeClock` shared between plan and
+    inspector, so a hang fault consumes fake seconds and trips the
+    per-item deadline instead of stalling the soak.
+    """
+    t0 = time.perf_counter()
+
+    baseline = BatchInspector(policies, mode="serial", cache=False)
+    clean = {}
+    for r in baseline.inspect_batch(corpus).results:
+        clean[r.label] = r.accepted
+
+    result = SoakResult(items=len(corpus))
+    for seed in seeds:
+        clock = FakeClock()
+        plan = FaultPlan.randomized(
+            seed,
+            hooks=hooks,
+            n_specs=n_specs,
+            probability=probability,
+            clock=clock,
+            hang_seconds=max(deadline * 4, 1.0),
+        )
+        inspector = BatchInspector(
+            policies,
+            mode="serial",
+            retries=retries,
+            backoff_base=0.05,
+            deadline=deadline,
+            quarantine_threshold=quarantine_threshold,
+            clock=clock,
+        )
+        outcome = SeedOutcome(seed=seed)
+        result.outcomes.append(outcome)
+        seed_t0 = time.perf_counter()
+        try:
+            with injected(plan):
+                report = inspector.inspect_batch(corpus)
+        except Exception as exc:  # noqa: BLE001 — this is the property under test
+            outcome.wall_seconds = time.perf_counter() - seed_t0
+            outcome.faults_fired = len(plan.events)
+            outcome.violations.append(ChaosViolation(
+                seed=seed, kind="uncaught", label="<batch>",
+                detail=f"{type(exc).__name__}: {exc}",
+            ))
+            continue
+        outcome.wall_seconds = time.perf_counter() - seed_t0
+        outcome.faults_fired = len(plan.events)
+        _check_seed(outcome, report, clean, seed, max_wall_seconds)
+    result.wall_seconds = time.perf_counter() - t0
+    return result
+
+
+def _check_seed(
+    outcome: SeedOutcome,
+    report: BatchReport,
+    clean: dict[str, bool],
+    seed: int,
+    max_wall_seconds: float,
+) -> None:
+    if outcome.wall_seconds > max_wall_seconds:
+        outcome.violations.append(ChaosViolation(
+            seed=seed, kind="hang", label="<batch>",
+            detail=(
+                f"seed pass took {outcome.wall_seconds:.1f}s wall "
+                f"(bound {max_wall_seconds}s) — an injected hang leaked "
+                "onto the real clock"
+            ),
+        ))
+    for r in report.results:
+        if r.error is not None:
+            outcome.errors += 1
+            if not _TYPED_ERROR.match(r.error):
+                outcome.violations.append(ChaosViolation(
+                    seed=seed, kind="untyped-error", label=r.label,
+                    detail=f"error text is not typed: {r.error!r}",
+                ))
+        elif r.accepted:
+            outcome.accepted += 1
+            if not clean.get(r.label, False):
+                outcome.violations.append(ChaosViolation(
+                    seed=seed, kind="false-accept", label=r.label,
+                    detail=(
+                        "faulted inspection ACCEPTED a binary the clean "
+                        "inspection rejects"
+                    ),
+                ))
+        else:
+            outcome.rejected += 1
+    try:
+        json.loads(report.to_json())
+    except Exception as exc:  # noqa: BLE001 — schema validity is the property
+        outcome.violations.append(ChaosViolation(
+            seed=seed, kind="report-corrupt", label="<batch>",
+            detail=f"BatchReport.to_json() is not valid JSON: {exc}",
+        ))

@@ -1,0 +1,60 @@
+"""Injectable clocks: real time for production, fake time for determinism.
+
+Every time-dependent decision in the resilience layer — backoff sleeps,
+per-item deadlines, simulated hangs — goes through a :class:`Clock` so
+tests and the chaos soak can drive it with :class:`FakeClock` and get
+bit-reproducible schedules.  :class:`SystemClock` is the production
+default and simply delegates to :mod:`time`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+__all__ = ["Clock", "SystemClock", "FakeClock"]
+
+
+class Clock:
+    """Minimal clock interface: monotonic ``time()`` plus ``sleep()``."""
+
+    def time(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real wall clock."""
+
+    def time(self) -> float:
+        return _time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            _time.sleep(seconds)
+
+
+class FakeClock(Clock):
+    """A deterministic clock: ``sleep`` advances time instantly.
+
+    Records every sleep so tests can assert exact backoff schedules.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        #: every ``sleep`` duration, in call order
+        self.sleeps: list[float] = []
+
+    def time(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self.sleeps.append(seconds)
+        self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep."""
+        self._now += seconds

@@ -1,0 +1,128 @@
+"""The global fault-injection registry and the ``fault_hook`` call sites use.
+
+Production layers call :func:`fault_hook` at the points where hostile
+inputs or broken machinery could bite.  With no plan installed the hook
+is a single ``None`` check returning its payload untouched — verdicts
+and wire bytes are exactly the uninjected ones (the differential tests
+pin this).  With a plan installed (:func:`install` /
+:func:`injected`), the plan decides deterministically whether this call
+misbehaves.
+
+Contract at every call site::
+
+    data = fault_hook("layer.point", data, error=TypedError)
+    if data is DROP:
+        ...  # the payload vanished; fail closed locally
+
+* ``raise`` and ``hang`` raise *error* (the site's own typed exception,
+  so the layers above convert the failure exactly as they convert real
+  ones); ``hang`` sleeps ``plan.hang_seconds`` on the plan's clock
+  first, so a shared fake clock sees the stall.
+* ``truncate`` / ``bitflip`` return a mutated copy of the payload; on a
+  payload-less hook (``data is None``) they degrade to ``raise``.
+* ``drop`` returns the :data:`DROP` sentinel (or degrades to ``raise``
+  when the payload is ``None``).
+* ``delay`` sleeps and returns the payload untouched.
+
+Every raised exception's message carries ``[fault:<hook>:<kind>]`` so a
+failure can always be traced to its originating stage.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..errors import InjectedFault
+from .plan import FaultPlan, FaultSpec
+
+__all__ = [
+    "DROP", "HOOK_POINTS", "active_plan", "fault_hook", "injected",
+    "install", "uninstall", "wants",
+]
+
+#: every hook point threaded through the layers (see docs/RESILIENCE.md)
+HOOK_POINTS = (
+    "elf.reader",                 # raw image entering ELF validation
+    "x86.decoder",                # per-instruction, inside the decode loop
+    "crypto.channel.send",        # assembled record leaving the channel
+    "crypto.channel.recv",        # record arriving before MAC verification
+    "net.sock.send",              # framed message entering the wire
+    "net.sock.recv",              # framed message leaving the wire
+    "core.provisioning.handshake",  # RSA key exchange, both phases
+    "core.provisioning.record",   # provider-side content record receive
+    "sgx.epc.alloc",              # EPC page allocation (eviction pressure)
+    "sgx.paging.unseal",          # ELDU unseal of an evicted page
+    "service.batch.worker",       # one worker attempt on one binary
+    "service.batch.verdict",      # verdict wire bytes before caching
+)
+
+#: sentinel returned when a ``drop`` fault swallows the payload
+DROP = object()
+
+_PLAN: FaultPlan | None = None
+
+
+def install(plan: FaultPlan) -> None:
+    """Make *plan* the process-wide active plan (replacing any other)."""
+    global _PLAN
+    _PLAN = plan
+
+
+def uninstall() -> None:
+    global _PLAN
+    _PLAN = None
+
+
+def active_plan() -> FaultPlan | None:
+    return _PLAN
+
+
+@contextmanager
+def injected(plan: FaultPlan):
+    """``with injected(plan): ...`` — install for the block, then restore."""
+    global _PLAN
+    previous = _PLAN
+    _PLAN = plan
+    try:
+        yield plan
+    finally:
+        _PLAN = previous
+
+
+def wants(point: str) -> bool:
+    """Cheap pre-check for hot loops: does any active spec watch *point*?"""
+    plan = _PLAN
+    return plan is not None and point in plan.hooks_used()
+
+
+def fault_hook(point: str, data: bytes | None = None, *, error=None):
+    """Possibly inject a fault at *point*; see the module docstring."""
+    plan = _PLAN
+    if plan is None:
+        return data
+    decision = plan.decide(point)
+    if decision is None:
+        return data
+    spec, rng = decision
+    kind = spec.kind
+    if kind == "delay":
+        plan.clock.sleep(spec.delay_seconds)
+        return data
+    if kind == "truncate" and data is not None:
+        return FaultPlan.truncate(data, spec)
+    if kind == "bitflip" and data is not None:
+        return FaultPlan.bitflip(data, spec, rng)
+    if kind == "drop" and data is not None:
+        return DROP
+    if kind == "hang":
+        plan.clock.sleep(plan.hang_seconds)
+    _raise(point, spec, error)
+    return data  # pragma: no cover - _raise always raises
+
+
+def _raise(point: str, spec: FaultSpec, error) -> None:
+    detail = spec.message or "injected fault"
+    message = f"[fault:{point}:{spec.kind}] {detail}"
+    if error is None:
+        raise InjectedFault(message, hook=point, kind=spec.kind)
+    raise error(message)

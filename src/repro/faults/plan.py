@@ -1,0 +1,242 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` maps named hook points (see
+:data:`repro.faults.hooks.HOOK_POINTS`) to :class:`FaultSpec` entries.
+Each spec describes *one* way a layer can misbehave:
+
+========== =============================================================
+kind       effect at the hook point
+========== =============================================================
+raise      raise the call site's typed error immediately
+truncate   cut the payload short (malformed frame / half-written file)
+bitflip    flip PRNG-chosen bits in the payload (memory/wire corruption)
+delay      sleep ``delay_seconds`` on the plan's clock, then proceed
+drop       make the payload vanish (lost frame / swallowed message)
+hang       sleep ``hang_seconds`` — simulating a stuck stage — then fail
+========== =============================================================
+
+Whether a spec fires on a given call is decided by a per-spec PRNG seeded
+from ``(plan seed, spec index, hook, kind)``: two runs of the same plan
+over the same call sequence inject byte-identical faults, no matter what
+other specs exist.  ``after`` skips the first N eligible calls (so a
+fault can hit *mid-stream*), ``probability`` thins firing, and
+``max_triggers`` bounds how often a spec fires.
+
+Plans serialize to JSON (:meth:`FaultPlan.to_json`) so a failing chaos
+run can print everything needed to replay it.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from dataclasses import asdict, dataclass, field
+
+from .clock import Clock, SystemClock
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultPlan", "FaultSpec"]
+
+FAULT_KINDS = ("raise", "truncate", "bitflip", "delay", "drop", "hang")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One way one hook point misbehaves."""
+
+    hook: str
+    kind: str
+    #: chance the spec fires on each eligible call
+    probability: float = 1.0
+    #: skip the first ``after`` eligible calls (fire mid-stream)
+    after: int = 0
+    #: how many times the spec may fire in total (None = unlimited)
+    max_triggers: int | None = 1
+    #: sleep for ``delay`` faults, on the plan's clock
+    delay_seconds: float = 0.01
+    #: bits flipped per ``bitflip`` fault
+    flip_bits: int = 1
+    #: ``truncate`` keeps ``len(data) // truncate_divisor`` bytes
+    truncate_divisor: int = 2
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        if self.after < 0:
+            raise ValueError("after must be >= 0")
+        if self.max_triggers is not None and self.max_triggers < 1:
+            raise ValueError("max_triggers must be >= 1 or None")
+        if self.flip_bits < 1 or self.truncate_divisor < 2:
+            raise ValueError("flip_bits must be >= 1 and truncate_divisor >= 2")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injection that actually happened (for logs and replay checks)."""
+
+    hook: str
+    kind: str
+    #: 1-based index of the eligible call at this hook that fired
+    call: int
+    spec_index: int
+
+
+@dataclass
+class _SpecState:
+    calls: int = 0
+    triggers: int = 0
+
+
+class FaultPlan:
+    """A deterministic schedule of faults across named hook points.
+
+    The plan carries its own :class:`~repro.faults.clock.Clock`; ``delay``
+    and ``hang`` faults sleep on it, and the service's retry/deadline
+    logic is expected to share it so injected hangs and measured
+    deadlines observe the same timeline.
+    """
+
+    def __init__(
+        self,
+        specs: list[FaultSpec] | tuple[FaultSpec, ...] = (),
+        *,
+        seed: int = 0,
+        clock: Clock | None = None,
+        hang_seconds: float = 30.0,
+    ) -> None:
+        self.specs = list(specs)
+        self.seed = seed
+        self.clock = clock or SystemClock()
+        self.hang_seconds = hang_seconds
+        #: every fault that fired, in firing order
+        self.events: list[FaultEvent] = []
+        self._lock = threading.Lock()
+        self._states = [_SpecState() for _ in self.specs]
+        self._rngs = [
+            random.Random(f"{seed}:{i}:{s.hook}:{s.kind}")
+            for i, s in enumerate(self.specs)
+        ]
+        self._hooked = frozenset(s.hook for s in self.specs)
+
+    # ------------------------------------------------------------------
+
+    def hooks_used(self) -> frozenset[str]:
+        return self._hooked
+
+    def decide(self, hook: str) -> tuple[FaultSpec, random.Random] | None:
+        """Should a fault fire for this call at *hook*?
+
+        Every spec matching *hook* counts the call; the first spec whose
+        trigger conditions are met fires (and is recorded).  Returns the
+        firing spec plus its PRNG (for payload mutations), or ``None``.
+        """
+        if hook not in self._hooked:
+            return None
+        with self._lock:
+            fired: tuple[FaultSpec, random.Random] | None = None
+            for i, spec in enumerate(self.specs):
+                if spec.hook != hook:
+                    continue
+                state = self._states[i]
+                state.calls += 1
+                if fired is not None:
+                    continue
+                if state.calls <= spec.after:
+                    continue
+                if spec.max_triggers is not None and state.triggers >= spec.max_triggers:
+                    continue
+                rng = self._rngs[i]
+                if spec.probability < 1.0 and rng.random() >= spec.probability:
+                    continue
+                state.triggers += 1
+                self.events.append(
+                    FaultEvent(hook=hook, kind=spec.kind, call=state.calls, spec_index=i)
+                )
+                fired = (spec, rng)
+            return fired
+
+    def reset(self) -> None:
+        """Forget call/trigger counts and the event log (PRNGs re-seed)."""
+        with self._lock:
+            self.events.clear()
+            self._states = [_SpecState() for _ in self.specs]
+            self._rngs = [
+                random.Random(f"{self.seed}:{i}:{s.hook}:{s.kind}")
+                for i, s in enumerate(self.specs)
+            ]
+
+    # ------------------------------------------------------ payload ops
+
+    @staticmethod
+    def truncate(data: bytes, spec: FaultSpec) -> bytes:
+        return data[: len(data) // spec.truncate_divisor]
+
+    @staticmethod
+    def bitflip(data: bytes, spec: FaultSpec, rng: random.Random) -> bytes:
+        if not data:
+            return data
+        out = bytearray(data)
+        for _ in range(spec.flip_bits):
+            pos = rng.randrange(len(out))
+            out[pos] ^= 1 << rng.randrange(8)
+        return bytes(out)
+
+    # ------------------------------------------------------------- JSON
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "hang_seconds": self.hang_seconds,
+                "specs": [asdict(s) for s in self.specs],
+            },
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str, *, clock: Clock | None = None) -> "FaultPlan":
+        doc = json.loads(payload)
+        return cls(
+            [FaultSpec(**s) for s in doc.get("specs", [])],
+            seed=doc.get("seed", 0),
+            clock=clock,
+            hang_seconds=doc.get("hang_seconds", 30.0),
+        )
+
+    # ------------------------------------------------------- generators
+
+    @classmethod
+    def randomized(
+        cls,
+        seed: int,
+        *,
+        hooks: tuple[str, ...],
+        kinds: tuple[str, ...] = FAULT_KINDS,
+        n_specs: int = 6,
+        probability: float = 0.25,
+        clock: Clock | None = None,
+        hang_seconds: float = 30.0,
+    ) -> "FaultPlan":
+        """A chaos-soak plan: ``n_specs`` specs drawn uniformly by *seed*."""
+        rng = random.Random(f"fault-plan:{seed}")
+        specs = [
+            FaultSpec(
+                hook=rng.choice(hooks),
+                kind=rng.choice(kinds),
+                probability=probability,
+                after=rng.randrange(4),
+                max_triggers=rng.randrange(1, 4),
+                flip_bits=rng.randrange(1, 4),
+            )
+            for _ in range(n_specs)
+        ]
+        return cls(specs, seed=seed, clock=clock, hang_seconds=hang_seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FaultPlan seed={self.seed} specs={len(self.specs)} "
+            f"fired={len(self.events)}>"
+        )

@@ -6,6 +6,7 @@ import struct
 from collections import deque
 
 from ..errors import NetError
+from ..faults.hooks import DROP, fault_hook
 
 __all__ = ["SimSocket", "SocketPair"]
 
@@ -48,8 +49,12 @@ class SimSocket:
             raise NetError(f"{self.name}: message of {len(message)} bytes exceeds frame limit")
         # The length prefix is what a real TCP framing layer would add; we
         # keep it so byte accounting matches a wire protocol.
-        self._peer._inbox.append(_LEN.pack(len(message)) + message)
+        frame = fault_hook("net.sock.send", _LEN.pack(len(message)) + message,
+                           error=NetError)
         self.bytes_sent += _LEN.size + len(message)
+        if frame is DROP:
+            return  # lost in transit; the sender already counted it
+        self._peer._inbox.append(frame)
 
     def recv(self) -> bytes:
         """Receive one framed message, verifying the frame header."""
@@ -57,7 +62,13 @@ class SimSocket:
             raise NetError(f"{self.name}: recv on closed socket")
         if not self._inbox:
             raise NetError(f"{self.name}: recv would block (no pending message)")
-        frame = self._inbox.popleft()
+        frame = fault_hook("net.sock.recv", self._inbox.popleft(), error=NetError)
+        if frame is DROP:
+            raise NetError(
+                f"{self.name}: [fault:net.sock.recv:drop] frame lost before receipt"
+            )
+        if len(frame) < _LEN.size:
+            raise NetError(f"{self.name}: corrupt frame (short header)")
         (length,) = _LEN.unpack_from(frame)
         body = frame[_LEN.size:]
         if len(body) != length:
@@ -68,6 +79,17 @@ class SimSocket:
     def pending(self) -> int:
         """Number of messages waiting to be received."""
         return len(self._inbox)
+
+    def drain(self) -> int:
+        """Discard every pending frame; returns how many were dropped.
+
+        Used by the retransmit path: once one record of a stream is bad,
+        everything queued behind it belongs to the broken stream and must
+        be flushed before the peer resends.
+        """
+        dropped = len(self._inbox)
+        self._inbox.clear()
+        return dropped
 
     def close(self) -> None:
         self._closed = True

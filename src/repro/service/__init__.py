@@ -10,14 +10,26 @@ stress and differential testing (:mod:`repro.service.corpus`).
 The service never touches the pipeline itself — every verdict is still
 produced by :class:`repro.core.EnGarde`, and the differential tests hold
 the batch path byte-identical to the sequential baseline.
+
+The batch front-end is also where the fail-closed resilience layer
+lives: retry-with-backoff, per-item deadlines, a :class:`Quarantine`
+for repeat offenders, and pool-to-serial degradation (see
+``docs/RESILIENCE.md``).
 """
 
-from .batch import BatchInspector, BatchItemResult, BatchReport, BatchSummary
+from .batch import (
+    BatchInspector,
+    BatchItemResult,
+    BatchReport,
+    BatchSummary,
+    Quarantine,
+)
 from .cache import CacheStats, InspectionCache, cache_key
 from .corpus import VARIANT_KINDS, generate_variant_corpus
 
 __all__ = [
     "BatchInspector", "BatchItemResult", "BatchReport", "BatchSummary",
+    "Quarantine",
     "InspectionCache", "CacheStats", "cache_key",
     "generate_variant_corpus", "VARIANT_KINDS",
 ]

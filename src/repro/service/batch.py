@@ -16,6 +16,27 @@ inspection pipeline untouched and adds the service layer around it:
 * deterministic output: results come back in submission order no matter
   which worker finished first.
 
+On top of that sits the fail-closed resilience layer (all opt-in, all
+timed on an injectable clock so tests and the chaos soak are exactly
+reproducible):
+
+* **retry with exponential backoff** (``retries`` / ``backoff_base``)
+  around each unique inspection,
+* a **per-item deadline** (``deadline``) across all of an item's
+  attempts — an injected hang burns the budget on the shared clock and
+  surfaces as a typed deadline error, never a stuck batch,
+* a **quarantine** (``quarantine_threshold``): a binary that keeps
+  failing is refused without work until released — and because errors
+  are never written to the :class:`InspectionCache`, a later clean retry
+  still computes a correct verdict,
+* **graceful degradation**: if the process pool dies
+  (``BrokenExecutor``), the remaining misses re-run serially in-process
+  and the batch still completes,
+* a **verdict integrity guard**: worker wire bytes that fail to parse,
+  or that do not round-trip byte-identically, become errored items and
+  are never cached (the ``service.batch.verdict`` fault hook exercises
+  exactly this poisoning attempt).
+
 Workers return ``ComplianceReport.serialize()`` bytes, not rich outcome
 objects: the wire form is cheap to pickle and guarantees the batch path
 can be compared byte-for-byte against the sequential baseline (the
@@ -27,6 +48,7 @@ from __future__ import annotations
 import json
 import time
 from concurrent.futures import (
+    BrokenExecutor,
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
@@ -37,9 +59,15 @@ from dataclasses import dataclass, field, replace
 from ..core.engarde import EnGarde
 from ..core.policy import PolicyRegistry
 from ..core.report import ComplianceReport
+from ..errors import WorkerCrashError
+from ..faults.clock import Clock, SystemClock
+from ..faults.hooks import DROP, fault_hook
 from .cache import CacheKey, InspectionCache, cache_key
 
-__all__ = ["BatchInspector", "BatchItemResult", "BatchReport", "BatchSummary"]
+__all__ = [
+    "BatchInspector", "BatchItemResult", "BatchReport", "BatchSummary",
+    "Quarantine",
+]
 
 MODES = ("process", "thread", "serial")
 
@@ -56,13 +84,60 @@ def _init_worker(policies: PolicyRegistry) -> None:
 
 
 def _pool_inspect(raw_elf: bytes) -> bytes:
+    fault_hook("service.batch.worker", error=WorkerCrashError)
     return _WORKER_ENGARDE.inspect(raw_elf, benchmark="").report.serialize()
 
 
 def _fresh_inspect(policies: PolicyRegistry, raw_elf: bytes) -> bytes:
     """Thread-mode task: a fresh EnGarde per call (CycleMeter phase
     bookkeeping is not shareable across concurrent inspections)."""
+    fault_hook("service.batch.worker", error=WorkerCrashError)
     return EnGarde(policies).inspect(raw_elf, benchmark="").report.serialize()
+
+
+# -------------------------------------------------------------- quarantine
+
+
+class Quarantine:
+    """Failure ledger: binaries that keep failing get refused, not retried.
+
+    Counts *consecutive* failures per content key; once a key reaches
+    *threshold* it is quarantined and subsequent submissions short-circuit
+    to an errored result.  A success (after :meth:`release`) resets the
+    count — quarantine never contaminates verdicts, it only refuses work.
+    """
+
+    def __init__(self, threshold: int) -> None:
+        if threshold < 1:
+            raise ValueError("quarantine threshold must be >= 1")
+        self.threshold = threshold
+        self._failures: dict[CacheKey, int] = {}
+
+    def record_failure(self, key: CacheKey) -> bool:
+        """Count one failure; returns True when the key is now quarantined."""
+        count = self._failures.get(key, 0) + 1
+        self._failures[key] = count
+        return count >= self.threshold
+
+    def record_success(self, key: CacheKey) -> None:
+        self._failures.pop(key, None)
+
+    def is_quarantined(self, key: CacheKey) -> bool:
+        return self._failures.get(key, 0) >= self.threshold
+
+    def failures(self, key: CacheKey) -> int:
+        return self._failures.get(key, 0)
+
+    def release(self, key: CacheKey) -> None:
+        """Forget a key's failures so the next submission runs again."""
+        self._failures.pop(key, None)
+
+    def clear(self) -> None:
+        self._failures.clear()
+
+    def __len__(self) -> int:
+        """Number of currently quarantined keys."""
+        return sum(1 for c in self._failures.values() if c >= self.threshold)
 
 
 # ----------------------------------------------------------------- results
@@ -77,7 +152,7 @@ class BatchItemResult:
     report: ComplianceReport | None
     error: str | None = None
     #: how the verdict was obtained
-    source: str = "inspected"        # inspected | cache | dedup | error
+    source: str = "inspected"   # inspected | cache | dedup | error | quarantined
 
     @property
     def accepted(self) -> bool:
@@ -103,13 +178,17 @@ class BatchSummary:
     workers: int = 1
     mode: str = "process"
     cache: dict = field(default_factory=dict)
+    #: retry/quarantine/degradation accounting — ``None`` unless the
+    #: resilience layer is configured, so the wire form of a plain batch
+    #: stays byte-identical to the pre-resilience service
+    resilience: dict | None = None
 
     @property
     def binaries_per_second(self) -> float:
         return self.total / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
     def as_dict(self) -> dict:
-        return {
+        payload = {
             "total": self.total,
             "accepted": self.accepted,
             "rejected": self.rejected,
@@ -123,6 +202,9 @@ class BatchSummary:
             "mode": self.mode,
             "cache": dict(self.cache),
         }
+        if self.resilience is not None:
+            payload["resilience"] = dict(self.resilience)
+        return payload
 
 
 @dataclass
@@ -173,7 +255,25 @@ class BatchInspector:
     timeout:
         Per-binary seconds to wait for a pooled verdict, measured from
         when the batch starts collecting that binary's result; ``None``
-        waits forever.  Ignored in ``serial`` mode.
+        waits forever.  Ignored in ``serial`` mode.  Pool timeouts are
+        final (the worker slot is gone) — they are not retried.
+    retries:
+        Extra attempts per unique miss after a failed inspection
+        (default 0 — identical behaviour to the pre-resilience service).
+    backoff_base:
+        First retry sleeps ``backoff_base`` seconds on *clock*, doubling
+        per subsequent attempt.
+    deadline:
+        Total per-item seconds across all attempts, measured on *clock*;
+        exceeded deadlines surface as typed ``DeadlineExceededError``
+        text, and stop further retries.
+    quarantine_threshold:
+        Consecutive failures before a binary is quarantined; ``None``
+        disables the quarantine.
+    clock:
+        Time source for backoff/deadline/quarantine decisions — pass a
+        :class:`~repro.faults.clock.FakeClock` (shared with the active
+        :class:`~repro.faults.plan.FaultPlan`) for deterministic tests.
     """
 
     def __init__(
@@ -185,14 +285,32 @@ class BatchInspector:
         cache: InspectionCache | None | bool = None,
         cache_capacity: int = 1024,
         timeout: float | None = None,
+        retries: int = 0,
+        backoff_base: float = 0.05,
+        deadline: float | None = None,
+        quarantine_threshold: int | None = None,
+        clock: Clock | None = None,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive")
         self.policies = policies
         self.mode = mode
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.deadline = deadline
+        self.clock = clock or SystemClock()
+        self.quarantine = (
+            Quarantine(quarantine_threshold)
+            if quarantine_threshold is not None
+            else None
+        )
         if workers is None:
             import os
 
@@ -206,6 +324,13 @@ class BatchInspector:
             self.cache = cache
         self._executor: ProcessPoolExecutor | ThreadPoolExecutor | None = None
         self._serial_engarde: EnGarde | None = None
+        #: set when a broken pool forced a fallback to serial execution
+        self._degraded = False
+        self._retry_attempts = 0
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded
 
     # -------------------------------------------------------------- pool
 
@@ -260,9 +385,11 @@ class BatchInspector:
             total=len(items), workers=self.workers, mode=self.mode
         )
         results: list[BatchItemResult | None] = [None] * len(items)
+        quarantined_items = 0
 
-        # Pass 1: answer from the cache; group the rest by content key so
-        # duplicate bytes inside one batch are inspected exactly once.
+        # Pass 1: answer from the cache; refuse quarantined content; group
+        # the rest by content key so duplicate bytes inside one batch are
+        # inspected exactly once.
         misses: dict[CacheKey, list[int]] = {}
         keys: list[CacheKey | None] = [None] * len(items)
         for i, (label, raw) in enumerate(items):
@@ -281,22 +408,67 @@ class BatchInspector:
                         index=i, label=label, report=cached, source="cache",
                     )
                     continue
+            if self.quarantine is not None and self.quarantine.is_quarantined(key):
+                quarantined_items += 1
+                results[i] = BatchItemResult(
+                    index=i, label=label, report=None, source="quarantined",
+                    error=(
+                        "QuarantinedError: refused after "
+                        f"{self.quarantine.failures(key)} consecutive "
+                        "failures (stage=quarantine)"
+                    ),
+                )
+                continue
             misses.setdefault(key, []).append(i)
 
         # Pass 2: run the unique misses (pooled or inline).
         verdicts = (
             self._run_serial(items, misses)
-            if self.mode == "serial"
+            if self.mode == "serial" or self._degraded
             else self._run_pooled(items, misses)
         )
 
-        # Pass 3: fan verdicts back out to every index that wanted them,
-        # in submission order.
+        # Pass 3: verify verdict integrity, fan verdicts back out to every
+        # index that wanted them (in submission order), and memoize —
+        # *only* parsed, round-trip-clean verdicts ever reach the cache.
         for key, indices in misses.items():
             wire, error = verdicts[key]
-            report = (
-                ComplianceReport.deserialize(wire) if wire is not None else None
-            )
+            report = None
+            if wire is not None:
+                try:
+                    wire = fault_hook("service.batch.verdict", wire)
+                except Exception as exc:  # noqa: BLE001 — integrity boundary
+                    error = (
+                        "ServiceError: verdict handling failed "
+                        f"(stage=service.batch.verdict): {type(exc).__name__}: {exc}"
+                    )
+                    wire = None
+                if wire is DROP:
+                    error = (
+                        "ServiceError: [fault:service.batch.verdict:drop] "
+                        "verdict lost in the service layer"
+                    )
+                    wire = None
+                else:
+                    try:
+                        report = ComplianceReport.deserialize(wire)
+                    except Exception as exc:  # noqa: BLE001 — integrity boundary
+                        error = (
+                            "ServiceError: verdict wire corrupted "
+                            f"(stage=service.batch.verdict): {type(exc).__name__}: {exc}"
+                        )
+                    else:
+                        if report.serialize() != wire:
+                            report = None
+                            error = (
+                                "ServiceError: verdict failed round-trip "
+                                "integrity check (stage=service.batch.verdict)"
+                            )
+            if self.quarantine is not None:
+                if report is None:
+                    self.quarantine.record_failure(key)
+                else:
+                    self.quarantine.record_success(key)
             if report is not None and self.cache is not None:
                 self.cache.put(key, report)
             for rank, i in enumerate(indices):
@@ -330,6 +502,20 @@ class BatchInspector:
         summary.wall_seconds = time.perf_counter() - t0
         if self.cache is not None:
             summary.cache = self.cache.stats().as_dict()
+        if (
+            self.retries
+            or self.deadline is not None
+            or self.quarantine is not None
+            or self._degraded
+        ):
+            summary.resilience = {
+                "retries": self.retries,
+                "retry_attempts": self._retry_attempts,
+                "deadline": self.deadline,
+                "quarantined_items": quarantined_items,
+                "quarantined_keys": len(self.quarantine) if self.quarantine else 0,
+                "degraded_to_serial": self._degraded,
+            }
         return BatchReport(results=final, summary=summary)
 
     # ------------------------------------------------------------ drivers
@@ -338,34 +524,110 @@ class BatchInspector:
         """Inline execution — the differential baseline, no pool at all."""
         if self._serial_engarde is None:
             self._serial_engarde = EnGarde(self.policies)
+        engarde = self._serial_engarde
         verdicts: dict[CacheKey, tuple[bytes | None, str | None]] = {}
         for key, indices in misses.items():
             raw = items[indices[0]][1]
-            try:
-                wire = self._serial_engarde.inspect(
-                    raw, benchmark=""
-                ).report.serialize()
-                verdicts[key] = (wire, None)
-            except Exception as exc:  # noqa: BLE001 — isolation boundary
-                verdicts[key] = (None, f"{type(exc).__name__}: {exc}")
+
+            def attempt(raw=raw):
+                fault_hook("service.batch.worker", error=WorkerCrashError)
+                return engarde.inspect(raw, benchmark="").report.serialize()
+
+            verdicts[key] = self._attempt_with_retries(attempt)
         return verdicts
+
+    def _attempt_with_retries(self, attempt):
+        """Run one inspection attempt with backoff/deadline bookkeeping."""
+        clock = self.clock
+        start = clock.time()
+        tries = 0
+        while True:
+            try:
+                return (attempt(), None)
+            except Exception as exc:  # noqa: BLE001 — isolation boundary
+                tries += 1
+                error = f"{type(exc).__name__}: {exc}"
+                if (
+                    self.deadline is not None
+                    and clock.time() - start >= self.deadline
+                ):
+                    return (None, (
+                        "DeadlineExceededError: per-item deadline of "
+                        f"{self.deadline}s exceeded after {tries} attempt(s); "
+                        f"last failure: {error}"
+                    ))
+                if tries > self.retries:
+                    return (None, error)
+                self._retry_attempts += 1
+                clock.sleep(self.backoff_base * (2 ** (tries - 1)))
 
     def _run_pooled(self, items, misses):
         """Fan unique misses out over the pool; collect with per-binary
-        timeout and per-binary exception isolation."""
-        futures: dict[CacheKey, Future] = {
-            key: self._submit(items[indices[0]][1])
-            for key, indices in misses.items()
-        }
+        timeout, retry-with-backoff, and exception isolation.  A broken
+        pool degrades the remaining misses (and all future batches) to
+        serial execution instead of failing the batch."""
         verdicts: dict[CacheKey, tuple[bytes | None, str | None]] = {}
-        for key, future in futures.items():
-            try:
-                verdicts[key] = (future.result(timeout=self.timeout), None)
-            except FutureTimeoutError:
-                future.cancel()
-                verdicts[key] = (
-                    None, f"inspection exceeded {self.timeout}s timeout",
+        pending = dict(misses)
+        starts: dict[CacheKey, float] = {}
+        tries = {key: 0 for key in misses}
+        while pending:
+            futures: dict[CacheKey, Future] = {}
+            for key, indices in pending.items():
+                starts.setdefault(key, self.clock.time())
+                try:
+                    futures[key] = self._submit(items[indices[0]][1])
+                except BrokenExecutor:
+                    remaining = {
+                        k: v for k, v in pending.items() if k not in verdicts
+                    }
+                    return self._degrade(items, remaining, verdicts)
+            retry_next: dict[CacheKey, list[int]] = {}
+            for key, future in futures.items():
+                try:
+                    verdicts[key] = (future.result(timeout=self.timeout), None)
+                    continue
+                except FutureTimeoutError:
+                    future.cancel()
+                    # Final: the worker slot is still occupied; retrying
+                    # would stack hung work behind a hung worker.
+                    verdicts[key] = (
+                        None, f"inspection exceeded {self.timeout}s timeout",
+                    )
+                    continue
+                except BrokenExecutor:
+                    remaining = {
+                        k: v for k, v in pending.items() if k not in verdicts
+                    }
+                    return self._degrade(items, remaining, verdicts)
+                except Exception as exc:  # noqa: BLE001 — isolation boundary
+                    error = f"{type(exc).__name__}: {exc}"
+                tries[key] += 1
+                deadline_hit = (
+                    self.deadline is not None
+                    and self.clock.time() - starts[key] >= self.deadline
                 )
-            except Exception as exc:  # noqa: BLE001 — isolation boundary
-                verdicts[key] = (None, f"{type(exc).__name__}: {exc}")
+                if deadline_hit:
+                    verdicts[key] = (None, (
+                        "DeadlineExceededError: per-item deadline of "
+                        f"{self.deadline}s exceeded after {tries[key]} "
+                        f"attempt(s); last failure: {error}"
+                    ))
+                elif tries[key] > self.retries:
+                    verdicts[key] = (None, error)
+                else:
+                    self._retry_attempts += 1
+                    retry_next[key] = pending[key]
+            if retry_next:
+                attempt = min(tries[k] for k in retry_next)
+                self.clock.sleep(self.backoff_base * (2 ** (attempt - 1)))
+            pending = retry_next
+        return verdicts
+
+    def _degrade(self, items, remaining, verdicts):
+        """Broken pool: finish the batch serially, stay serial afterwards."""
+        self._degraded = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        verdicts.update(self._run_serial(items, remaining))
         return verdicts

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from ..crypto import hmac_sha256
 from ..errors import EpcExhaustedError, SgxError
+from ..faults.hooks import fault_hook
 from .params import PAGE_SIZE
 
 __all__ = ["EpcPage", "Epc", "PagePermissions"]
@@ -83,6 +84,9 @@ class Epc:
 
     def allocate(self, eid: int, vaddr: int) -> EpcPage:
         """Take a free page and assign it to enclave *eid* at *vaddr*."""
+        # Injectable eviction pressure: a raise here is what sudden EPC
+        # exhaustion under a hostile co-tenant looks like to the caller.
+        fault_hook("sgx.epc.alloc", error=EpcExhaustedError)
         if not self._free:
             raise EpcExhaustedError(
                 f"EPC exhausted: all {self.size} pages in use"

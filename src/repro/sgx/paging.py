@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from ..crypto import hmac_sha256
 from ..errors import SgxError
+from ..faults.hooks import DROP, fault_hook
 from .params import PAGE_SIZE
 
 __all__ = ["EvictedPage", "VersionArray"]
@@ -113,6 +114,19 @@ def seal_page(
 
 def unseal_page(paging_key: bytes, blob: EvictedPage) -> bytes:
     """ELDU's unsealing: verify the MAC, decrypt."""
+    # Injected corruption hits the sealed ciphertext *before* the MAC
+    # check, so the replay-protection machinery is what catches it.
+    ciphertext = fault_hook("sgx.paging.unseal", blob.ciphertext, error=SgxError)
+    if ciphertext is DROP:
+        raise SgxError(
+            f"[fault:sgx.paging.unseal:drop] evicted page {blob.vaddr:#x} "
+            "lost by the OS"
+        )
+    if ciphertext is not blob.ciphertext:
+        blob = EvictedPage(
+            eid=blob.eid, vaddr=blob.vaddr, version=blob.version,
+            perms=blob.perms, ciphertext=ciphertext, mac=blob.mac,
+        )
     expected = hmac_sha256(
         paging_key,
         EvictedPage(

@@ -1,0 +1,204 @@
+"""Hook-point x fault-kind matrix: every injected failure fails *closed*.
+
+The contract under test (see docs/RESILIENCE.md): whatever fault fires at
+whatever hook point, the observable outcome is a REJECT verdict or a
+typed error that names its originating stage — never an ACCEPT of a
+binary the clean pipeline rejects, and never a raw uncaught exception.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.core import EnclaveClient, provision
+from repro.core.provisioning import ResilienceConfig
+from repro.crypto import HmacDrbg
+from repro.crypto.rsa import generate_keypair
+from repro.errors import EpcExhaustedError, InjectedFault, SgxError
+from repro.faults import FAULT_KINDS, FakeClock, FaultPlan, FaultSpec, injected
+from repro.service import BatchInspector
+from repro.sgx.epc import Epc
+from repro.sgx.paging import seal_page, unseal_page
+
+from tests.conftest import compile_demo, small_provider
+
+#: typed ``ExcName: ...`` error text, as the service layer emits it
+TYPED = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*(Error|Exception|Fault)\b")
+
+#: hook points a serial batch inspection flows through
+PIPELINE_HOOKS = (
+    "elf.reader", "x86.decoder", "service.batch.worker",
+    "service.batch.verdict",
+)
+
+#: hook points the provisioning protocol flows through
+PROTOCOL_HOOKS = (
+    "crypto.channel.send", "crypto.channel.recv",
+    "net.sock.send", "net.sock.recv",
+    "core.provisioning.handshake", "core.provisioning.record",
+)
+
+
+@pytest.fixture(scope="module")
+def good_elf(libc):
+    return compile_demo(libc, stack_protector=True, ifcc=True, name="fcgood").elf
+
+
+@pytest.fixture(scope="module")
+def bad_elf(libc):
+    return compile_demo(libc, name="fcbad").elf  # fails SP and IFCC policies
+
+
+@pytest.fixture(scope="module")
+def channel_keypair():
+    """Pre-generated channel key so each provisioning run skips keygen."""
+    return generate_keypair(768, HmacDrbg(b"failclosed-keypair"))
+
+
+def _assert_fail_closed(result, *, clean_accepts: bool) -> None:
+    if result.error is not None:
+        assert TYPED.match(result.error), result.error
+        assert (
+            "[fault:" in result.error
+            or "stage=" in result.error
+            or "deadline" in result.error.lower()
+        ), f"error does not name its origin: {result.error}"
+        return
+    assert result.report is not None
+    if result.accepted:
+        # accepting under a fault is only legal when the clean pipeline
+        # accepts these bytes (e.g. a delay fault, or a benign bitflip)
+        assert clean_accepts, "fault turned a rejected binary into an ACCEPT"
+    else:
+        # a rejection must say why: failed policies or a structural stage
+        assert result.report.policies_failed or result.report.rejected_stage
+
+
+@pytest.mark.parametrize("hook", PIPELINE_HOOKS)
+@pytest.mark.parametrize("kind", FAULT_KINDS)
+def test_pipeline_matrix_fails_closed(all_policies, good_elf, bad_elf, hook, kind):
+    clock = FakeClock()
+    plan = FaultPlan(
+        [FaultSpec(hook=hook, kind=kind, max_triggers=None)],
+        clock=clock, hang_seconds=10.0,
+    )
+    inspector = BatchInspector(
+        all_policies, mode="serial", cache=False,
+        deadline=5.0, clock=clock,
+    )
+    with injected(plan):
+        report = inspector.inspect_batch([("good", good_elf), ("bad", bad_elf)])
+
+    assert plan.events, f"{hook}/{kind} never fired"
+    assert len(report.results) == 2
+    _assert_fail_closed(report.results[0], clean_accepts=True)
+    _assert_fail_closed(report.results[1], clean_accepts=False)
+    # the fail-closed cardinal rule, stated directly:
+    assert not report.results[1].accepted
+
+
+@pytest.mark.parametrize("hook", PROTOCOL_HOOKS)
+@pytest.mark.parametrize("kind", ("raise", "drop", "bitflip"))
+def test_protocol_matrix_fails_closed(
+    all_policies, good_elf, channel_keypair, hook, kind
+):
+    """A persistent transport/protocol fault ends in a typed REJECT."""
+    clock = FakeClock()
+    plan = FaultPlan(
+        [FaultSpec(hook=hook, kind=kind, max_triggers=None)],
+        clock=clock, hang_seconds=10.0,
+    )
+    provider = small_provider(all_policies, channel_keypair=channel_keypair)
+    client = EnclaveClient(good_elf, policies=all_policies, benchmark="fc")
+    with injected(plan):
+        result = provision(
+            provider, client,
+            resilience=ResilienceConfig(max_retransmits=2, clock=clock),
+        )
+
+    assert plan.events, f"{hook}/{kind} never fired"
+    assert not result.accepted
+    assert result.error is not None and TYPED.match(result.error)
+    assert result.report.rejected_stage in (
+        "channel", "protocol", "attestation", "machinery"
+    )
+
+
+def test_transient_record_drop_is_retransmitted(
+    all_policies, good_elf, channel_keypair
+):
+    """One dropped content record is recovered by the channel ARQ: the
+    run still ends in a clean ACCEPT, after a backoff on the shared clock."""
+    clock = FakeClock()
+    plan = FaultPlan(
+        [FaultSpec(hook="crypto.channel.send", kind="drop",
+                   after=3, max_triggers=1)],
+        clock=clock,
+    )
+    provider = small_provider(all_policies, channel_keypair=channel_keypair)
+    client = EnclaveClient(good_elf, policies=all_policies, benchmark="fc")
+    with injected(plan):
+        result = provision(
+            provider, client,
+            resilience=ResilienceConfig(max_retransmits=3, clock=clock),
+        )
+    assert plan.events and plan.events[0].kind == "drop"
+    assert result.error is None
+    assert result.accepted
+    assert result.client_verdict is not None
+    assert result.client_verdict.compliant
+    assert clock.sleeps, "recovery must have gone through the ARQ backoff"
+
+
+def test_without_resilience_faults_still_raise_typed_errors(
+    all_policies, good_elf, channel_keypair
+):
+    """No ResilienceConfig: the legacy contract — a typed raise, no wrap."""
+    plan = FaultPlan(
+        [FaultSpec(hook="crypto.channel.recv", kind="raise")],
+    )
+    provider = small_provider(all_policies, channel_keypair=channel_keypair)
+    client = EnclaveClient(good_elf, policies=all_policies, benchmark="fc")
+    from repro.errors import CryptoError
+
+    with injected(plan):
+        with pytest.raises(CryptoError, match=r"\[fault:crypto\.channel\.recv"):
+            provision(provider, client)
+
+
+def test_epc_alloc_fault_is_typed_eviction_pressure():
+    epc = Epc(8, b"k" * 16)
+    plan = FaultPlan([FaultSpec(hook="sgx.epc.alloc", kind="raise")])
+    with injected(plan):
+        with pytest.raises(EpcExhaustedError, match=r"\[fault:sgx\.epc\.alloc"):
+            epc.allocate(1, 0x10000)
+    # after the single-shot fault, allocation works again
+    with injected(plan):
+        page = epc.allocate(1, 0x10000)
+    assert page.owner_eid == 1
+
+
+@pytest.mark.parametrize("kind", ("bitflip", "truncate", "drop", "raise"))
+def test_paging_unseal_faults_never_yield_plaintext(kind):
+    key = b"p" * 32
+    blob = seal_page(key, 1, 0x10000, 7, "rw-", b"\xab" * 4096)
+    plan = FaultPlan([FaultSpec(hook="sgx.paging.unseal", kind=kind)])
+    with injected(plan):
+        with pytest.raises(SgxError):
+            unseal_page(key, blob)
+    # the blob itself is untouched: a clean reload still round-trips
+    assert unseal_page(key, blob) == b"\xab" * 4096
+
+
+def test_injected_fault_carries_hook_and_kind():
+    plan = FaultPlan([FaultSpec(hook="service.batch.worker", kind="raise")])
+    with injected(plan):
+        from repro.faults import fault_hook
+
+        with pytest.raises(InjectedFault) as exc_info:
+            fault_hook("service.batch.worker")
+    assert exc_info.value.hook == "service.batch.worker"
+    assert exc_info.value.kind == "raise"
+    assert "[fault:service.batch.worker:raise]" in str(exc_info.value)

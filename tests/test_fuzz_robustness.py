@@ -95,3 +95,86 @@ def test_truncations_of_valid_binary_all_rejected_or_handled():
             Disassembler(CycleMeter()).run(blob[:cut])
         except RejectionError:
             pass
+
+
+# ------------------------------------------------- corpus under faults
+#
+# The same robustness property, but with the *infrastructure* misbehaving
+# instead of the input: the fuzz corpus flows through the batch service
+# while seeded fault plans corrupt, drop, and hang the pipeline's hook
+# points.  Fixed seeds make every CI failure replayable bit-for-bit.
+
+import json
+
+import pytest
+
+from repro.faults.chaos import run_soak
+
+
+def _fuzz_corpus() -> list[tuple[str, bytes]]:
+    """Good, policy-rejected, truncated, and garbage inputs — the same
+    verdict mix the byte-level fuzzers above exercise."""
+    blob = _demo_elf()
+    return [
+        ("valid", blob),
+        ("truncated-quarter", blob[: len(blob) // 4]),
+        ("truncated-header", blob[:32]),
+        ("garbage", b"\x7fNOT-AN-ELF" + bytes(range(256))),
+        ("empty", b""),
+        ("duplicate-valid", blob),
+    ]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_fuzz_corpus_routed_through_fault_hooks(all_policies, seed):
+    """Seeded chaos pass over the fuzz corpus: no false accepts, no
+    hangs, no untyped failures — reproducible from the printed seed."""
+    result = run_soak(
+        all_policies,
+        _fuzz_corpus(),
+        seeds=(seed,),
+        n_specs=8,
+        probability=0.5,
+        quarantine_threshold=3,
+    )
+    assert result.ok, "\n".join(result.summary_lines())
+    assert result.faults_fired > 0, f"seed {seed} fired no faults"
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_batch_report_json_schema_valid_under_faults(all_policies, seed):
+    """``BatchReport.to_json()`` must stay schema-valid whatever faults
+    the service absorbed."""
+    from repro.faults import FakeClock, FaultPlan, injected
+    from repro.service import BatchInspector
+
+    clock = FakeClock()
+    plan = FaultPlan.randomized(
+        seed,
+        hooks=("elf.reader", "x86.decoder", "service.batch.worker",
+               "service.batch.verdict"),
+        n_specs=8, probability=0.5, clock=clock,
+    )
+    inspector = BatchInspector(
+        all_policies, mode="serial", cache=False,
+        retries=1, deadline=5.0, clock=clock,
+    )
+    with injected(plan):
+        report = inspector.inspect_batch(_fuzz_corpus())
+
+    payload = json.loads(report.to_json())
+    assert set(payload) == {"summary", "results"}
+    summary = payload["summary"]
+    for field in ("total", "accepted", "rejected", "errors", "cache_hits",
+                  "deduplicated", "inspected", "wall_seconds",
+                  "binaries_per_second", "workers", "mode", "cache"):
+        assert field in summary, f"summary lost {field!r} under seed {seed}"
+    assert summary["total"] == len(_fuzz_corpus())
+    assert (summary["accepted"] + summary["rejected"] + summary["errors"]
+            == summary["total"])
+    for item in payload["results"]:
+        assert set(item) == {"index", "label", "accepted", "source",
+                             "error", "report"}
+        assert isinstance(item["accepted"], bool)
+        # exactly one of report/error per item
+        assert (item["report"] is None) == (item["error"] is not None)
