@@ -47,12 +47,14 @@ def _figure(policy: str, number: int, scale: float, json_path: str | None) -> No
 
 
 def _profile(args) -> int:
-    """``python -m repro profile``: cProfile the static-inspection core.
+    """``python -m repro profile``: cProfile a hot path.
 
-    Builds one instrumented workload, inspects it under all three paper
-    policies with the optimized pipeline, and prints the top-N hot spots
-    by cumulative time — the measured starting point for any future perf
-    work (see docs/PERFORMANCE.md).
+    ``--stage inspect`` (the default) profiles the static-inspection
+    core; ``--stage provision`` profiles the full provisioning exchange —
+    handshake, encrypted content stream, MRENCLAVE verification, verdict
+    — which is dominated by the crypto data plane rather than the
+    decoder.  Both print the top-N hot spots by cumulative time — the
+    measured starting point for any perf work (see docs/PERFORMANCE.md).
     """
     import cProfile
     import pstats
@@ -72,25 +74,54 @@ def _profile(args) -> int:
         "library-linking", "stack-protection", "indirect-function-call"
     )
 
-    def corpus_inspection() -> None:
-        # Fresh EnGarde per pass: caches must not carry over between
-        # repeats, so the profile reflects steady single-binary cost.
-        for _ in range(args.repeats):
-            engarde = EnGarde(PolicyRegistry([
-                make_policy(name, libc) for name in policy_names
-            ]))
-            outcome = engarde.inspect(binary.elf, benchmark=args.benchmark)
-            assert outcome.report is not None
+    def make_policies() -> PolicyRegistry:
+        return PolicyRegistry([
+            make_policy(name, libc) for name in policy_names
+        ])
 
-    corpus_inspection()  # warm-up: imports, lazy tables
+    if args.stage == "provision":
+        from .core import CloudProvider, EnclaveClient, provision
+        from .harness import runner
+        from .sgx import SgxParams
+
+        policies = make_policies()
+
+        def workload() -> None:
+            # Fresh provider + client per pass: every run pays the whole
+            # protocol (keygen is skipped via a shared keypair only when
+            # benchmarking; the profile keeps it so RSA shows up).
+            for _ in range(args.repeats):
+                provider = CloudProvider(
+                    policies,
+                    params=SgxParams(epc_pages=8192, heap_initial_pages=512),
+                    rsa_bits=1024,
+                    client_pages=max(runner._pages_for(binary) + 16, 64),
+                )
+                client = EnclaveClient(
+                    binary.elf, policies=policies, benchmark=args.benchmark,
+                )
+                result = provision(provider, client)
+                assert result.report is not None
+        label = "provisioning run(s)"
+    else:
+        def workload() -> None:
+            # Fresh EnGarde per pass: caches must not carry over between
+            # repeats, so the profile reflects steady single-binary cost.
+            for _ in range(args.repeats):
+                engarde = EnGarde(make_policies())
+                outcome = engarde.inspect(binary.elf, benchmark=args.benchmark)
+                assert outcome.report is not None
+        label = "inspection(s)"
+
+    workload()  # warm-up: imports, lazy tables
     profiler = cProfile.Profile()
     profiler.enable()
-    corpus_inspection()
+    workload()
     profiler.disable()
 
     print(
-        f"# profile: {args.benchmark} @ scale {args.scale} "
-        f"({binary.insn_count} insns, {args.repeats} inspection(s), "
+        f"# profile: {args.stage} {args.benchmark} @ scale {args.scale} "
+        f"({binary.insn_count} insns, {args.repeats} {label}, "
         f"{len(policy_names)} policies, {time.time() - t0:.0f}s wall)"
     )
     stats = pstats.Stats(profiler)
@@ -248,6 +279,11 @@ def main(argv: list[str] | None = None) -> int:
     profile_group.add_argument(
         "--top", type=_positive_int, default=25,
         help="how many hot spots to print (by cumulative time)",
+    )
+    profile_group.add_argument(
+        "--stage", default="inspect", choices=["inspect", "provision"],
+        help="hot path to profile: the static-inspection core or the "
+             "full provisioning exchange (handshake + encrypted stream)",
     )
     args = parser.parse_args(argv)
 

@@ -15,6 +15,13 @@ Mirrors the protocol in the paper (section 3, "Overall Design"):
 Both endpoints share the :class:`SecureChannel` record layer; the handshake
 helpers :func:`server_handshake` / :func:`client_handshake` run the key
 exchange over a :class:`~repro.net.SimSocket`.
+
+The record layer has two modes producing byte-identical wire traffic:
+``optimized=True`` (the default) holds per-direction expanded AES
+schedules and HMAC midstates for the whole session and assembles records
+from memoryviews; ``optimized=False`` re-derives everything per record
+through the frozen :mod:`repro.crypto.ref` oracles — the pre-overhaul
+cost model, kept as the differential baseline.
 """
 
 from __future__ import annotations
@@ -26,8 +33,9 @@ from dataclasses import dataclass
 from ..errors import CryptoError, ProtocolError
 from ..faults.hooks import DROP, fault_hook
 from ..net import SimSocket
-from .aes import aes_ctr
-from .mac import HmacDrbg, hmac_sha256
+from .aes import _MEMO_MIN_BLOCKS, Aes, ctr_xor
+from .mac import HmacDrbg, HmacKey, constant_time_eq, hmac_sha256
+from .ref import ref_aes_ctr, ref_channel_hmac
 from .rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
 
 __all__ = [
@@ -64,12 +72,20 @@ class SecureChannel:
     #: payloads kept for :meth:`resend_from` (bounds retransmit memory)
     RESEND_WINDOW = 64
 
-    def __init__(self, sock: SimSocket, session_key: bytes, *, is_server: bool) -> None:
+    def __init__(
+        self,
+        sock: SimSocket,
+        session_key: bytes,
+        *,
+        is_server: bool,
+        optimized: bool = True,
+    ) -> None:
         if len(session_key) != AES_KEY_SIZE:
             raise CryptoError(f"session key must be {AES_KEY_SIZE} bytes")
         self._sock = sock
         self._send_seq = 0
         self._recv_seq = 0
+        self.optimized = optimized
         #: (seq, plaintext payload) of the most recent sends
         self._sent_window: deque[tuple[int, bytes]] = deque(maxlen=self.RESEND_WINDOW)
         send_label, recv_label = (b"srv->cli", b"cli->srv") if is_server else (b"cli->srv", b"srv->cli")
@@ -79,6 +95,13 @@ class SecureChannel:
         self._recv_mac = hmac_sha256(session_key, b"mac" + recv_label)
         self._send_nonce = hmac_sha256(session_key, b"nonce" + send_label)[:8]
         self._recv_nonce = hmac_sha256(session_key, b"nonce" + recv_label)[:8]
+        # Session-lifetime cipher state: expanded AES schedules and HMAC
+        # midstates per direction.  The reference path derives these per
+        # record instead; both emit identical bytes.
+        self._send_aes = Aes.for_key(self._send_key)
+        self._recv_aes = Aes.for_key(self._recv_key)
+        self._send_hmac = HmacKey(self._send_mac)
+        self._recv_hmac = HmacKey(self._recv_mac)
 
     # Each record gets a disjoint CTR-counter window: 2**20 blocks (16 MiB)
     # per sequence number, far above the socket frame limit per record.
@@ -90,15 +113,42 @@ class SecureChannel:
         self._transmit(self._send_seq, payload)
         self._send_seq += 1
 
-    def _transmit(self, seq: int, payload: bytes) -> None:
+    def warm_send_keystream(self, lengths) -> None:
+        """Precompute the CTR keystream for the next ``len(lengths)`` sends.
+
+        *lengths* are upcoming payload sizes in order.  One columnar batch
+        pass covers the whole stream; the per-record keystreams land in the
+        process-wide memo where this channel's sends, the peer's receives,
+        and any ARQ retransmit pick them up.  A no-op in reference mode.
+        """
+        if not self.optimized:
+            return
+        ranges = []
+        seq = self._send_seq
+        for i, length in enumerate(lengths):
+            nblocks = -(-int(length) // 16)
+            if nblocks >= _MEMO_MIN_BLOCKS:
+                ranges.append(((seq + i) * self._CTR_WINDOW, nblocks))
+        if ranges:
+            self._send_aes.warm_ctr_ranges(self._send_nonce, ranges)
+
+    def _transmit(self, seq: int, payload) -> None:
         header = _HDR.pack(seq, len(payload))
-        ciphertext = aes_ctr(
-            self._send_key, self._send_nonce, payload,
-            initial_counter=seq * self._CTR_WINDOW,
-        )
-        tag = hmac_sha256(self._send_mac, header + ciphertext)
+        if self.optimized:
+            ciphertext = ctr_xor(
+                self._send_aes, self._send_nonce, payload,
+                initial_counter=seq * self._CTR_WINDOW,
+            )
+            tag = self._send_hmac.mac(header, ciphertext)
+        else:
+            ciphertext = ref_aes_ctr(
+                self._send_key, self._send_nonce, bytes(payload),
+                initial_counter=seq * self._CTR_WINDOW,
+            )
+            tag = ref_channel_hmac(self._send_mac, header + ciphertext)
         record = fault_hook(
-            "crypto.channel.send", header + ciphertext + tag, error=CryptoError
+            "crypto.channel.send", b"".join((header, ciphertext, tag)),
+            error=CryptoError,
         )
         if record is DROP:
             return  # the record vanished in transit; the peer fails closed
@@ -145,31 +195,44 @@ class SecureChannel:
             )
         if len(record) < _HDR.size + TAG_SIZE:
             raise CryptoError("record too short")
+        if not self.optimized:
+            return self._recv_reference(bytes(record))
+        view = memoryview(record)
+        header = view[:_HDR.size]
+        ciphertext = view[_HDR.size:-TAG_SIZE]
+        tag = view[-TAG_SIZE:]
+        seq, length = _HDR.unpack(header)
+        if seq != self._recv_seq:
+            raise CryptoError(f"bad sequence number: expected {self._recv_seq}, got {seq}")
+        expected = self._recv_hmac.mac(header, ciphertext)
+        if not constant_time_eq(tag, expected):
+            raise CryptoError("record MAC verification failed")
+        if length != len(ciphertext):
+            raise CryptoError("record length mismatch")
+        self._recv_seq += 1
+        return ctr_xor(
+            self._recv_aes, self._recv_nonce, ciphertext,
+            initial_counter=seq * self._CTR_WINDOW,
+        )
+
+    def _recv_reference(self, record: bytes) -> bytes:
+        """Reference-mode record verification (pre-overhaul per-record cost)."""
         header = record[:_HDR.size]
         ciphertext = record[_HDR.size:-TAG_SIZE]
         tag = record[-TAG_SIZE:]
         seq, length = _HDR.unpack(header)
         if seq != self._recv_seq:
             raise CryptoError(f"bad sequence number: expected {self._recv_seq}, got {seq}")
-        expected = hmac_sha256(self._recv_mac, header + ciphertext)
-        if not _constant_time_eq(tag, expected):
+        expected = ref_channel_hmac(self._recv_mac, header + ciphertext)
+        if not constant_time_eq(tag, expected):
             raise CryptoError("record MAC verification failed")
         if length != len(ciphertext):
             raise CryptoError("record length mismatch")
         self._recv_seq += 1
-        return aes_ctr(
+        return ref_aes_ctr(
             self._recv_key, self._recv_nonce, ciphertext,
             initial_counter=seq * self._CTR_WINDOW,
         )
-
-
-def _constant_time_eq(a: bytes, b: bytes) -> bool:
-    if len(a) != len(b):
-        return False
-    acc = 0
-    for x, y in zip(a, b):
-        acc |= x ^ y
-    return acc == 0
 
 
 class ServerHandshake:
@@ -193,12 +256,14 @@ class ServerHandshake:
         *,
         rsa_bits: int = DEFAULT_RSA_BITS,
         keypair: RsaPrivateKey | None = None,
+        optimized: bool = True,
     ) -> None:
         self._sock = sock
         self._rng = rng
         self._rsa_bits = rsa_bits
         self._keypair = keypair
         self._sent = False
+        self._optimized = optimized
 
     def send_public_key(self) -> RsaPrivateKey:
         """Phase 1: generate (if needed) and transmit the ephemeral key.
@@ -229,7 +294,9 @@ class ServerHandshake:
             raise ProtocolError(
                 f"unwrapped session key has wrong size {len(session_key)}"
             )
-        return SecureChannel(self._sock, session_key, is_server=True)
+        return SecureChannel(
+            self._sock, session_key, is_server=True, optimized=self._optimized
+        )
 
 
 def client_handshake(
@@ -237,6 +304,7 @@ def client_handshake(
     rng: HmacDrbg,
     *,
     expected_fingerprint: bytes | None = None,
+    optimized: bool = True,
 ) -> tuple[SecureChannel, RsaPublicKey]:
     """Client-side handshake: receive the enclave key, wrap a fresh AES key.
 
@@ -258,4 +326,7 @@ def client_handshake(
 
     session_key = rng.generate(AES_KEY_SIZE)
     sock.send(_MSG_KEYWRAP + pub.encrypt(session_key, rng))
-    return SecureChannel(sock, session_key, is_server=False), pub
+    return (
+        SecureChannel(sock, session_key, is_server=False, optimized=optimized),
+        pub,
+    )

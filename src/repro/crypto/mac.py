@@ -4,23 +4,92 @@ The DRBG is the single source of randomness for the whole reproduction:
 RSA keygen, AES session keys, workload generation, and the simulated
 hardware's device keys all draw from seeded instances, which makes every
 experiment bit-for-bit reproducible.
+
+HMAC here is midstate-cached: preparing a key costs two compression
+calls (the ipad/opad blocks), after which every MAC under that key is
+two state clones plus the message compressions.  The record layer MACs
+thousands of records under four fixed session keys per provisioning run,
+so this is the difference between "key preparation dominates" and "the
+message itself dominates".  Outputs are byte-identical to the frozen
+:func:`repro.crypto.ref.ref_hmac_sha256` oracle (RFC 4231-pinned).
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
+
 from .sha256 import BLOCK_SIZE, DIGEST_SIZE, sha256_fast
 
-__all__ = ["hmac_sha256", "HmacDrbg"]
+__all__ = ["hmac_sha256", "HmacKey", "hmac_key", "constant_time_eq", "HmacDrbg"]
+
+_IPAD_TAB = bytes(b ^ 0x36 for b in range(256))
+_OPAD_TAB = bytes(b ^ 0x5C for b in range(256))
+
+
+class HmacKey:
+    """Prepared HMAC-SHA256 key: cloneable inner/outer midstates."""
+
+    __slots__ = ("_inner", "_outer")
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) > BLOCK_SIZE:
+            key = sha256_fast(key)
+        block = key.ljust(BLOCK_SIZE, b"\x00")
+        self._inner = hashlib.sha256(block.translate(_IPAD_TAB))
+        self._outer = hashlib.sha256(block.translate(_OPAD_TAB))
+
+    def mac(self, *parts: bytes) -> bytes:
+        """HMAC over the concatenation of *parts* (no join is performed)."""
+        inner = self._inner.copy()
+        for part in parts:
+            inner.update(part)
+        outer = self._outer.copy()
+        outer.update(inner.digest())
+        return outer.digest()
+
+
+_KEY_CACHE: "OrderedDict[bytes, HmacKey]" = OrderedDict()
+_KEY_CACHE_CAP = 256
+_KEY_CACHE_LOCK = threading.Lock()
+
+
+def hmac_key(key: bytes) -> HmacKey:
+    """Return a (cached) prepared key; safe because keystreams are not —
+    only midstates of public-structure padding blocks are stored."""
+    key = bytes(key)
+    with _KEY_CACHE_LOCK:
+        prepared = _KEY_CACHE.get(key)
+        if prepared is not None:
+            _KEY_CACHE.move_to_end(key)
+            return prepared
+    prepared = HmacKey(key)
+    with _KEY_CACHE_LOCK:
+        _KEY_CACHE[key] = prepared
+        if len(_KEY_CACHE) > _KEY_CACHE_CAP:
+            _KEY_CACHE.popitem(last=False)
+    return prepared
 
 
 def hmac_sha256(key: bytes, message: bytes) -> bytes:
     """HMAC-SHA256 per RFC 2104, built on our SHA-256 primitive."""
-    if len(key) > BLOCK_SIZE:
-        key = sha256_fast(key)
-    key = key.ljust(BLOCK_SIZE, b"\x00")
-    inner = bytes(b ^ 0x36 for b in key)
-    outer = bytes(b ^ 0x5C for b in key)
-    return sha256_fast(outer + sha256_fast(inner + message))
+    return hmac_key(key).mac(message)
+
+
+def constant_time_eq(a: bytes, b: bytes) -> bool:
+    """Constant-time equality for fixed-length tags.
+
+    The length check returns early by design: record tag lengths are
+    public protocol constants, so a mismatch leaks nothing.  For equal
+    lengths the comparison runs in time independent of *where* the
+    buffers differ — one wide XOR accumulator over the whole width, no
+    data-dependent short-circuit.  Shared by the channel's record MACs
+    and any future tag checks (one implementation to audit).
+    """
+    if len(a) != len(b):
+        return False
+    return int.from_bytes(a, "big") ^ int.from_bytes(b, "big") == 0
 
 
 class HmacDrbg:
@@ -41,10 +110,14 @@ class HmacDrbg:
         self._update(seed + personalization)
 
     def _update(self, provided: bytes | None = None) -> None:
-        data = provided or b""
+        # SP 800-90A HMAC_DRBG_Update: the second round runs whenever
+        # provided_data was given — including an explicit empty string.
+        # (`provided or b""` would collapse b"" into the None path and
+        # silently skip the round; a regression test pins both paths.)
+        data = b"" if provided is None else provided
         self._key = hmac_sha256(self._key, self._value + b"\x00" + data)
         self._value = hmac_sha256(self._key, self._value)
-        if provided:
+        if provided is not None:
             self._key = hmac_sha256(self._key, self._value + b"\x01" + data)
             self._value = hmac_sha256(self._key, self._value)
 

@@ -7,6 +7,8 @@ reproducible enclave-provisioning experiments.
 
 from __future__ import annotations
 
+import math
+
 from .mac import HmacDrbg
 
 __all__ = ["is_probable_prime", "generate_prime", "SMALL_PRIMES"]
@@ -25,6 +27,13 @@ def _sieve(limit: int) -> tuple[int, ...]:
 
 SMALL_PRIMES = _sieve(1000)
 
+# Product of all small primes: one gcd against this replaces the whole
+# trial-division loop for large candidates.  gcd(n, primorial) > 1 iff
+# some small prime divides n, so accept/reject decisions (and therefore
+# the DRBG draw sequence and every generated key) are unchanged.
+_PRIMORIAL = math.prod(SMALL_PRIMES)
+_SMALL_PRIME_SET = frozenset(SMALL_PRIMES)
+
 
 def is_probable_prime(n: int, rounds: int = 40, rng: HmacDrbg | None = None) -> bool:
     """Miller-Rabin primality test.
@@ -35,11 +44,10 @@ def is_probable_prime(n: int, rounds: int = 40, rng: HmacDrbg | None = None) -> 
     """
     if n < 2:
         return False
-    for p in SMALL_PRIMES:
-        if n == p:
-            return True
-        if n % p == 0:
-            return False
+    if n <= SMALL_PRIMES[-1]:
+        return n in _SMALL_PRIME_SET
+    if math.gcd(n, _PRIMORIAL) != 1:
+        return False
 
     # Write n - 1 = d * 2**r with d odd.
     d = n - 1

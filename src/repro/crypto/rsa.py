@@ -16,6 +16,7 @@ oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from ..errors import CryptoError
 from .mac import HmacDrbg
@@ -98,11 +99,20 @@ class RsaPrivateKey:
     def size_bytes(self) -> int:
         return (self.n.bit_length() + 7) // 8
 
+    @cached_property
+    def _crt_params(self) -> tuple[int, int, int]:
+        # (dp, dq, qinv), derived once per key.  ``cached_property``
+        # stores into the instance ``__dict__`` directly, which a frozen
+        # dataclass permits (only ``__setattr__`` is blocked).
+        return (
+            self.d % (self.p - 1),
+            self.d % (self.q - 1),
+            pow(self.q, -1, self.p),
+        )
+
     def _private_op(self, c: int) -> int:
         # CRT: twice as fast as a single pow(c, d, n).
-        dp = self.d % (self.p - 1)
-        dq = self.d % (self.q - 1)
-        qinv = pow(self.q, -1, self.p)
+        dp, dq, qinv = self._crt_params
         m1 = pow(c % self.p, dp, self.p)
         m2 = pow(c % self.q, dq, self.q)
         h = (qinv * (m1 - m2)) % self.p

@@ -19,6 +19,13 @@ import struct
 
 __all__ = ["SHA256", "sha256", "sha256_fast", "BLOCK_SIZE", "DIGEST_SIZE"]
 
+# The compression function is generated once at import time with every
+# round unrolled over local variables (no schedule list, no rotr calls,
+# round constants inlined as literals).  The generated code computes the
+# exact FIPS 180-4 recurrence — same math, ~3x fewer bytecodes — and is
+# pinned against both :mod:`hashlib` and the frozen loop implementation
+# in :mod:`repro.crypto.ref` by the test suite.
+
 BLOCK_SIZE = 64
 DIGEST_SIZE = 32
 
@@ -53,6 +60,47 @@ _MASK = 0xFFFFFFFF
 
 def _rotr(x: int, n: int) -> int:
     return ((x >> n) | (x << (32 - n))) & _MASK
+
+
+def _generate_compress():
+    """Build the fully-unrolled compression function (see module docstring)."""
+
+    def rotr(x: str, n: int) -> str:
+        return f"({x}>>{n}|{x}<<{32 - n})"
+
+    lines = [
+        "def _compress(self, block):",
+        "    " + ", ".join(f"w{i}" for i in range(16)) + " = _UNPACK16(block)",
+    ]
+    for i in range(16, 64):
+        p, q = f"w{i - 15}", f"w{i - 2}"
+        s0 = f"(({rotr(p, 7)}^{rotr(p, 18)})&{_MASK}^({p}>>3))"
+        s1 = f"(({rotr(q, 17)}^{rotr(q, 19)})&{_MASK}^({q}>>10))"
+        lines.append(
+            f"    w{i} = (w{i - 16} + {s0} + w{i - 7} + {s1}) & {_MASK}"
+        )
+    names = "abcdefgh"
+    lines.append("    a, b, c, d, e, f, g, h = self._h")
+    for i in range(64):
+        # Fixed variables, rotating roles: the variable playing role j in
+        # round i is names[(j - i) % 8], so each round is two assignments.
+        a, b, c, d, e, f, g, h = (names[(j - i) % 8] for j in range(8))
+        s1 = f"(({rotr(e, 6)}^{rotr(e, 11)}^{rotr(e, 25)})&{_MASK})"
+        ch = f"(({e}&{f})^(~{e}&{g}))"
+        s0 = f"(({rotr(a, 2)}^{rotr(a, 13)}^{rotr(a, 22)})&{_MASK})"
+        maj = f"(({a}&{b})^({a}&{c})^({b}&{c}))"
+        lines.append(f"    t1 = {h} + {s1} + {ch} + {_K[i]} + w{i}")
+        lines.append(f"    {d} = ({d} + t1) & {_MASK}")
+        lines.append(f"    {h} = (t1 + {s0} + {maj}) & {_MASK}")
+    lines.append("    hh = self._h")
+    lines.append(
+        "    self._h = ["
+        + ", ".join(f"(hh[{j}] + {names[j]}) & {_MASK}" for j in range(8))
+        + "]"
+    )
+    namespace = {"_UNPACK16": struct.Struct(">16I").unpack}
+    exec(compile("\n".join(lines), "<sha256-compress>", "exec"), namespace)
+    return namespace["_compress"]
 
 
 class SHA256:
@@ -129,27 +177,30 @@ class SHA256:
         clone._length = self._length
         return clone
 
-    def _compress(self, block: bytes) -> None:
-        w = list(struct.unpack(">16I", block))
-        for i in range(16, 64):
-            s0 = _rotr(w[i - 15], 7) ^ _rotr(w[i - 15], 18) ^ (w[i - 15] >> 3)
-            s1 = _rotr(w[i - 2], 17) ^ _rotr(w[i - 2], 19) ^ (w[i - 2] >> 10)
-            w.append((w[i - 16] + s0 + w[i - 7] + s1) & _MASK)
+    # Unrolled FIPS 180-4 compression, generated at import (see above).
+    _compress = _generate_compress()
 
-        a, b, c, d, e, f, g, h = self._h
-        for i in range(64):
-            s1 = _rotr(e, 6) ^ _rotr(e, 11) ^ _rotr(e, 25)
-            ch = (e & f) ^ (~e & g)
-            temp1 = (h + s1 + ch + _K[i] + w[i]) & _MASK
-            s0 = _rotr(a, 2) ^ _rotr(a, 13) ^ _rotr(a, 22)
-            maj = (a & b) ^ (a & c) ^ (b & c)
-            temp2 = (s0 + maj) & _MASK
-            h, g, f, e = g, f, e, (d + temp1) & _MASK
-            d, c, b, a = c, b, a, (temp1 + temp2) & _MASK
+    # ---------------------------------------------------------- midstates
 
-        self._h = [
-            (x + y) & _MASK for x, y in zip(self._h, (a, b, c, d, e, f, g, h))
-        ]
+    def midstate(self) -> tuple:
+        """Snapshot of the absorbed state, resumable via :meth:`from_midstate`.
+
+        Cheaper than :meth:`copy` when many continuations hang off one
+        prefix (HMAC's per-key inner/outer states are the canonical use):
+        the snapshot is immutable, so restoring never aliases the live
+        hash object.
+        """
+        return (tuple(self._h), self._length, bytes(self._buffer))
+
+    @classmethod
+    def from_midstate(cls, state: tuple) -> "SHA256":
+        """Rebuild a hash object that continues from a :meth:`midstate`."""
+        h, length, buffer = state
+        clone = cls()
+        clone._h = list(h)
+        clone._length = length
+        clone._buffer = bytearray(buffer)
+        return clone
 
 
 def sha256(data: bytes) -> bytes:

@@ -48,8 +48,11 @@ class SimSocket:
         if len(message) > MAX_MESSAGE:
             raise NetError(f"{self.name}: message of {len(message)} bytes exceeds frame limit")
         # The length prefix is what a real TCP framing layer would add; we
-        # keep it so byte accounting matches a wire protocol.
-        frame = fault_hook("net.sock.send", _LEN.pack(len(message)) + message,
+        # keep it so byte accounting matches a wire protocol.  ``join``
+        # accepts memoryview payloads without an intermediate copy, so
+        # callers may frame straight out of a larger buffer.
+        frame = fault_hook("net.sock.send",
+                           b"".join((_LEN.pack(len(message)), message)),
                            error=NetError)
         self.bytes_sent += _LEN.size + len(message)
         if frame is DROP:

@@ -24,12 +24,17 @@ from .batch import (
     BatchSummary,
     Quarantine,
 )
-from .cache import CacheStats, InspectionCache, cache_key
+from .cache import (
+    CacheStats,
+    InspectionCache,
+    ProvisioningVerdictCache,
+    cache_key,
+)
 from .corpus import VARIANT_KINDS, generate_variant_corpus
 
 __all__ = [
     "BatchInspector", "BatchItemResult", "BatchReport", "BatchSummary",
     "Quarantine",
-    "InspectionCache", "CacheStats", "cache_key",
+    "InspectionCache", "ProvisioningVerdictCache", "CacheStats", "cache_key",
     "generate_variant_corpus", "VARIANT_KINDS",
 ]

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..crypto import hmac_sha256
+from ..crypto.mac import hmac_key
 from ..errors import EpcExhaustedError, SgxError
 from ..faults.hooks import fault_hook
 from .params import PAGE_SIZE
@@ -63,6 +63,10 @@ class Epc:
         self._pages = [EpcPage(i) for i in range(n_pages)]
         self._free = list(range(n_pages - 1, -1, -1))
         self._hw_key = hardware_key
+        # Prepared HMAC midstates for the integrity key: the MEE tags and
+        # checks a page on every store/enclave read, so the per-call key
+        # preparation is hoisted to construction (same tag bytes).
+        self._integrity = hmac_key(hardware_key + b"integrity")
         # The keystream is a pure function of (hardware key, page index),
         # so it can be cached without weakening the simulation.
         self._keystream_cache: dict[int, bytes] = {}
@@ -138,14 +142,14 @@ class Epc:
             cached = self._zero_ct_cache.get(page.index)
             if cached is None:
                 ct = self._keystream(page)  # zeros XOR keystream
-                cached = (ct, hmac_sha256(self._hw_key + b"integrity", ct))
+                cached = (ct, self._integrity.mac(ct))
                 self._zero_ct_cache[page.index] = cached
             page._ciphertext, page._tag = cached
             return
         stream = self._keystream(page)
         ct = _xor(plaintext, stream)
         page._ciphertext = ct
-        page._tag = hmac_sha256(self._hw_key + b"integrity", ct)
+        page._tag = self._integrity.mac(ct)
 
     def read_plaintext(self, page: EpcPage, *, eid: int) -> bytes:
         """Decrypt a page for an access from inside enclave *eid*."""
@@ -154,7 +158,7 @@ class Epc:
                 f"enclave {eid} accessed EPC page {page.index} "
                 f"owned by {page.owner_eid}"
             )
-        expected = hmac_sha256(self._hw_key + b"integrity", page._ciphertext)
+        expected = self._integrity.mac(page._ciphertext)
         if expected != page._tag:
             raise SgxError(
                 f"integrity check failed on EPC page {page.index} "

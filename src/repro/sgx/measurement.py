@@ -17,6 +17,11 @@ from ..errors import SgxError
 
 __all__ = ["Measurement"]
 
+# The three log tags, pre-padded to the fixed 8-byte field.
+_PADDED_TAGS = {
+    tag: tag.ljust(8, b"\x00") for tag in (b"ECREATE", b"EADD", b"EEXTEND")
+}
+
 
 class Measurement:
     """Incremental MRENCLAVE builder mirroring the SGX measurement log."""
@@ -30,11 +35,17 @@ class Measurement:
     def finalized(self) -> bool:
         return self._final is not None
 
-    def _absorb(self, tag: bytes, payload: bytes) -> None:
+    def _absorb(self, tag: bytes, *parts: bytes) -> None:
+        # Streamed into the hash as three updates; the absorbed byte
+        # sequence (length prefix, padded tag, payload) is unchanged, so
+        # MRENCLAVE values are identical to the concatenating form.
         if self._final is not None:
             raise SgxError("measurement already finalised by EINIT")
-        record = tag.ljust(8, b"\x00") + payload
-        self._hash.update(struct.pack("<I", len(record)) + record)
+        update = self._hash.update
+        update(struct.pack("<I", 8 + sum(len(p) for p in parts)))
+        update(_PADDED_TAGS.get(tag) or tag.ljust(8, b"\x00"))
+        for part in parts:
+            update(part)
 
     def ecreate(self, base: int, size: int, attributes: int) -> None:
         self._absorb(b"ECREATE", struct.pack("<QQQ", base, size, attributes))
@@ -43,12 +54,12 @@ class Measurement:
     def eadd(self, vaddr: int, page_type: str, perms: str) -> None:
         self._absorb(
             b"EADD",
-            struct.pack("<Q", vaddr) + page_type.encode() + perms.encode(),
+            struct.pack("<Q", vaddr), page_type.encode(), perms.encode(),
         )
         self.log.append(f"EADD vaddr={vaddr:#x} type={page_type} perms={perms}")
 
     def eextend(self, vaddr: int, chunk: bytes) -> None:
-        self._absorb(b"EEXTEND", struct.pack("<Q", vaddr) + chunk)
+        self._absorb(b"EEXTEND", struct.pack("<Q", vaddr), chunk)
         self.log.append(f"EEXTEND vaddr={vaddr:#x} len={len(chunk)}")
 
     def finalize(self) -> bytes:

@@ -12,9 +12,10 @@ machine-level instructions live in :class:`~repro.sgx.isa.SgxMachine`
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
-from ..crypto import hmac_sha256
+from ..crypto.mac import hmac_key
 from ..errors import SgxError
 from ..faults.hooks import DROP, fault_hook
 from .params import PAGE_SIZE
@@ -105,7 +106,9 @@ def seal_page(
         eid=eid, vaddr=vaddr, version=version, perms=perms,
         ciphertext=ciphertext, mac=b"",
     )
-    mac = hmac_sha256(paging_key, blob.body())
+    # hmac_key caches the paging key's ipad/opad midstates across every
+    # EWB/ELDU under the same key; the MAC bytes are unchanged.
+    mac = hmac_key(paging_key).mac(blob.body())
     return EvictedPage(
         eid=eid, vaddr=vaddr, version=version, perms=perms,
         ciphertext=ciphertext, mac=mac,
@@ -127,12 +130,11 @@ def unseal_page(paging_key: bytes, blob: EvictedPage) -> bytes:
             eid=blob.eid, vaddr=blob.vaddr, version=blob.version,
             perms=blob.perms, ciphertext=ciphertext, mac=blob.mac,
         )
-    expected = hmac_sha256(
-        paging_key,
+    expected = hmac_key(paging_key).mac(
         EvictedPage(
             eid=blob.eid, vaddr=blob.vaddr, version=blob.version,
             perms=blob.perms, ciphertext=blob.ciphertext, mac=b"",
-        ).body(),
+        ).body()
     )
     if expected != blob.mac:
         raise SgxError(
@@ -144,8 +146,6 @@ def unseal_page(paging_key: bytes, blob: EvictedPage) -> bytes:
 
 
 def _stream(key: bytes, eid: int, vaddr: int, version: int) -> bytes:
-    import hashlib
-
     seed = (key + eid.to_bytes(4, "little") + vaddr.to_bytes(8, "little")
             + version.to_bytes(8, "little"))
     return hashlib.shake_128(seed).digest(PAGE_SIZE)

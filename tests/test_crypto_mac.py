@@ -10,8 +10,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.crypto import HmacDrbg, hmac_sha256
+from repro.crypto.mac import constant_time_eq, hmac_key
 
-# RFC 4231 test cases 1, 2, 3, 6 (the SHA-256 rows).
+# RFC 4231 test cases 1, 2, 3, 4, 6, 7 (the SHA-256 rows; case 5 is the
+# truncated-output variant, which this API does not expose).
 RFC4231 = [
     (
         b"\x0b" * 20,
@@ -29,16 +31,39 @@ RFC4231 = [
         "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe",
     ),
     (
+        bytes(range(1, 26)),  # 25-byte key (shorter than the block)
+        b"\xcd" * 50,
+        "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b",
+    ),
+    (
         b"\xaa" * 131,  # key longer than the block size
         b"Test Using Larger Than Block-Size Key - Hash Key First",
         "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",
     ),
+    (
+        b"\xaa" * 131,  # long key *and* long data
+        b"This is a test using a larger than block-size key and a larger "
+        b"than block-size data. The key needs to be hashed before being "
+        b"used by the HMAC algorithm.",
+        "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2",
+    ),
 ]
 
+_RFC4231_IDS = ["tc1", "tc2", "tc3", "tc4", "tc6", "tc7"]
 
-@pytest.mark.parametrize("key,msg,expected", RFC4231, ids=["tc1", "tc2", "tc3", "tc6"])
+
+@pytest.mark.parametrize("key,msg,expected", RFC4231, ids=_RFC4231_IDS)
 def test_rfc4231(key, msg, expected):
     assert hmac_sha256(key, msg).hex() == expected
+
+
+@pytest.mark.parametrize("key,msg,expected", RFC4231, ids=_RFC4231_IDS)
+def test_rfc4231_prepared_key(key, msg, expected):
+    """The cached-midstate path produces the same RFC 4231 digests."""
+    prepared = hmac_key(key)
+    assert prepared.mac(msg).hex() == expected
+    # split updates through the same prepared key
+    assert prepared.mac(msg[:7], msg[7:]).hex() == expected
 
 
 @given(st.binary(max_size=200), st.binary(max_size=500))
@@ -77,6 +102,28 @@ class TestHmacDrbg:
         b.generate(16)
         a.reseed(b"fresh entropy")
         assert a.generate(16) != b.generate(16)
+
+    def test_empty_reseed_runs_both_update_rounds(self):
+        """Regression: SP 800-90A's HMAC_DRBG_Update runs its second
+        round whenever provided_data was *given* — including an explicit
+        empty string.  The old ``provided or b""`` collapsed ``b""`` into
+        the None path and skipped the round; this replays the correct
+        two-round schedule with stdlib HMAC and demands a byte match."""
+
+        def ref_update(key, value, data):
+            key = std_hmac.new(key, value + b"\x00" + data, hashlib.sha256).digest()
+            value = std_hmac.new(key, value, hashlib.sha256).digest()
+            key = std_hmac.new(key, value + b"\x01" + data, hashlib.sha256).digest()
+            value = std_hmac.new(key, value, hashlib.sha256).digest()
+            return key, value
+
+        drbg = HmacDrbg(b"seed")
+        key, value = drbg._key, drbg._value
+        drbg.reseed(b"")
+        assert (drbg._key, drbg._value) == ref_update(key, value, b"")
+        # and the one-round no-data path is *not* what ran for b""
+        one_round_key = std_hmac.new(key, value + b"\x00", hashlib.sha256).digest()
+        assert drbg._key != one_round_key
 
     @given(st.integers(0, 1000), st.integers(0, 1000))
     @settings(max_examples=100, deadline=None)
@@ -126,3 +173,29 @@ class TestHmacDrbg:
         a = HmacDrbg(b"seed").fork(b"x").generate(16)
         b = HmacDrbg(b"seed").fork(b"x").generate(16)
         assert a == b
+
+
+class TestConstantTimeEq:
+    """The shared constant-time comparator (used by the channel's MAC
+    check; replaces the hand-rolled copy that lived in channel.py)."""
+
+    def test_equal_and_unequal(self):
+        assert constant_time_eq(b"", b"")
+        assert constant_time_eq(b"abc", b"abc")
+        assert not constant_time_eq(b"abc", b"abd")
+        assert not constant_time_eq(b"\x00" * 32, b"\x00" * 31 + b"\x01")
+
+    def test_length_mismatch_short_circuits(self):
+        # Documented: length is not secret, so a mismatch returns early.
+        assert not constant_time_eq(b"abc", b"abcd")
+        assert not constant_time_eq(b"", b"x")
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_naive_equality(self, a, b):
+        assert constant_time_eq(a, b) == (a == b)
+
+    def test_accepts_memoryview(self):
+        tag = bytes(range(32))
+        assert constant_time_eq(memoryview(tag), tag)
+        assert not constant_time_eq(memoryview(tag), bytes(32))

@@ -1,0 +1,112 @@
+"""Wire-identity regression: the provisioning transcript is frozen bytes.
+
+The crypto overhaul promises that every byte crossing the simulated
+socket — handshake messages, encrypted content records, the verdict
+record — is unchanged.  This test records the complete frame sequence of
+one deterministic provisioning run (seeded DRBGs, deterministic
+toolchain build) and pins its digest in
+``tests/fixtures/provisioning_wire.json``; it also replays the run with
+the reference-mode channel (``optimized=False`` on both endpoints) and
+demands the *same* transcript, so the two record-layer implementations
+can never drift apart on the wire.
+
+Regenerate deliberately after an intended protocol change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_provisioning_wire.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import EnclaveClient, provision
+from repro.net import sock as sock_module
+from tests.conftest import small_provider
+
+FIXTURE = Path(__file__).parent / "fixtures" / "provisioning_wire.json"
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN", "") not in ("", "0")
+
+
+def _record_transcript(monkeypatch, *, optimized: bool, policies, binary):
+    """One full provisioning run with every socket frame recorded."""
+    frames: list[tuple[str, bytes]] = []
+    original_send = sock_module.SimSocket.send
+
+    def recording_send(self, message):
+        frames.append((self.name, bytes(message)))
+        return original_send(self, message)
+
+    monkeypatch.setattr(sock_module.SimSocket, "send", recording_send)
+    provider = small_provider(policies, channel_optimized=optimized)
+    client = EnclaveClient(binary, policies=policies, optimized=optimized)
+    result = provision(provider, client)
+    monkeypatch.undo()
+    return frames, result
+
+
+def _digest(frames) -> dict:
+    h = hashlib.sha256()
+    total = 0
+    for name, frame in frames:
+        h.update(name.encode())
+        h.update(len(frame).to_bytes(4, "big"))
+        h.update(frame)
+        total += len(frame)
+    return {
+        "transcript_sha256": h.hexdigest(),
+        "frames": len(frames),
+        "bytes": total,
+    }
+
+
+@pytest.fixture(scope="module")
+def transcripts(all_policies, demo_instrumented):
+    """Both runs, recorded once for the module."""
+    mp = pytest.MonkeyPatch()
+    try:
+        fast = _record_transcript(
+            mp, optimized=True,
+            policies=all_policies, binary=demo_instrumented.elf,
+        )
+        ref = _record_transcript(
+            mp, optimized=False,
+            policies=all_policies, binary=demo_instrumented.elf,
+        )
+    finally:
+        mp.undo()
+    return fast, ref
+
+
+def test_optimized_and_reference_transcripts_are_byte_identical(transcripts):
+    (fast_frames, fast_result), (ref_frames, ref_result) = transcripts
+    assert fast_frames == ref_frames
+    assert fast_result.accepted and ref_result.accepted
+    assert fast_result.report == ref_result.report
+    assert fast_result.client_verdict == ref_result.client_verdict
+
+
+def test_transcript_matches_frozen_fixture(transcripts, all_policies,
+                                           demo_instrumented):
+    (fast_frames, fast_result), _ = transcripts
+    observed = _digest(fast_frames)
+    observed["verdict_sha256"] = hashlib.sha256(
+        fast_result.report.serialize()
+    ).hexdigest()
+
+    if REGEN or not FIXTURE.exists():
+        FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+        FIXTURE.write_text(json.dumps(observed, indent=2) + "\n")
+        if not REGEN:
+            pytest.skip("fixture created; rerun to verify")
+
+    frozen = json.loads(FIXTURE.read_text())
+    assert observed == frozen, (
+        "provisioning wire transcript drifted from the frozen fixture; "
+        "if the protocol change is intended, regenerate with "
+        "REPRO_REGEN_GOLDEN=1"
+    )
