@@ -13,6 +13,9 @@ Usage::
     python -m repro chaos --seeds 0,1,2,3,4 --corpus-size 54
                                     # seeded fault-injection soak; exits
                                     # non-zero on any fail-closed violation
+    python -m repro serve --port 0  # long-lived inspection daemon on TCP;
+                                    # prints one JSON announce line, stops
+                                    # gracefully on SIGTERM/SIGINT
 """
 
 from __future__ import annotations
@@ -171,6 +174,70 @@ def _chaos(args) -> int:
     return 0
 
 
+def _serve(args) -> int:
+    """``python -m repro serve``: the long-lived inspection daemon.
+
+    Starts :class:`repro.service.InspectionDaemon` on TCP and prints a
+    single JSON *announce* line (endpoint, device public key, policy
+    digest, enclave geometry) — everything an
+    :class:`~repro.service.InspectionClient` needs to attest and
+    connect.  SIGTERM/SIGINT trigger a graceful drain: in-flight
+    inspections are answered, new connections refused, then the process
+    exits 0 with a final metrics summary on stderr.
+    """
+    import json
+    import signal
+    import threading
+
+    from .core.policy import PolicyRegistry
+    from .harness.runner import make_policy
+    from .service import InspectionDaemon
+    from .toolchain import build_libc
+
+    t0 = time.time()
+    libc = build_libc()
+    policies = PolicyRegistry([make_policy(args.policy, libc)])
+    daemon = InspectionDaemon(
+        policies,
+        pool_size=args.pool_size,
+        rsa_bits=args.rsa_bits,
+        heap_pages=64,
+        client_pages=64,
+        enclave_pages=0x2000,
+        read_timeout=args.read_timeout,
+        max_connections=args.max_connections,
+        retries=args.retries,
+        quarantine_threshold=args.quarantine_threshold,
+    )
+    host, port = daemon.start_tcp(args.host, args.port)
+    print(json.dumps(daemon.announce()), flush=True)
+    print(
+        f"# inspection daemon ready on {host}:{port} "
+        f"({time.time() - t0:.1f}s warm-up); SIGTERM to drain",
+        file=sys.stderr, flush=True,
+    )
+
+    stop = threading.Event()
+
+    def _on_signal(signum, frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    try:
+        while not stop.is_set():
+            stop.wait(0.2)
+            if args.max_uptime and daemon.uptime_seconds >= args.max_uptime:
+                break
+    finally:
+        daemon.stop()
+    snap = daemon.metrics_snapshot()
+    nonzero = {k: v for k, v in snap["counters"].items() if v}
+    print(f"# daemon stopped; counters: {json.dumps(nonzero)}",
+          file=sys.stderr, flush=True)
+    return 0
+
+
 def _positive_int(value: str) -> int:
     n = int(value)
     if n < 1:
@@ -198,11 +265,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "target",
         choices=["fig2", "fig3", "fig4", "fig5", "all", "demo",
-                 "inspect-batch", "profile", "chaos"],
+                 "inspect-batch", "profile", "chaos", "serve"],
         help="which table/figure to regenerate, 'inspect-batch' to "
              "drive the batched inspection service, 'profile' to "
-             "cProfile a corpus inspection and print the hot spots, or "
-             "'chaos' to run the seeded fault-injection soak",
+             "cProfile a corpus inspection and print the hot spots, "
+             "'chaos' to run the seeded fault-injection soak, or "
+             "'serve' to run the long-lived inspection daemon on TCP",
     )
     parser.add_argument(
         "--scale", type=float, default=1.0,
@@ -271,6 +339,35 @@ def main(argv: list[str] | None = None) -> int:
         "--max-wall", type=float, default=60.0,
         help="real seconds per seed pass before it counts as a hang",
     )
+    serve_group = parser.add_argument_group("serve options")
+    serve_group.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface the daemon binds (default: loopback only)",
+    )
+    serve_group.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 = let the OS pick; see the announce line)",
+    )
+    serve_group.add_argument(
+        "--pool-size", type=_positive_int, default=1,
+        help="pre-provisioned enclaves kept warm for attestation",
+    )
+    serve_group.add_argument(
+        "--max-connections", type=_positive_int, default=64,
+        help="concurrent client connections before new ones are refused",
+    )
+    serve_group.add_argument(
+        "--read-timeout", type=float, default=30.0,
+        help="seconds an idle connection may sit before it is dropped",
+    )
+    serve_group.add_argument(
+        "--rsa-bits", type=_positive_int, default=768,
+        help="channel keypair size for pooled enclaves",
+    )
+    serve_group.add_argument(
+        "--max-uptime", type=float, default=None,
+        help="self-stop after this many seconds (CI smoke guard)",
+    )
     profile_group = parser.add_argument_group("profile options")
     profile_group.add_argument(
         "--benchmark", default="nginx",
@@ -292,6 +389,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.target == "chaos":
         return _chaos(args)
+
+    if args.target == "serve":
+        return _serve(args)
 
     if args.target == "inspect-batch":
         from .harness.runner import run_batch

@@ -1,11 +1,20 @@
-"""Simulated networking: an in-memory, deterministic duplex socket pair.
+"""Simulated and real networking behind one framed-socket interface.
 
 The paper's enclave "establishes a socket connection to the client machine".
-Real sockets would add nondeterminism and no fidelity — the interesting
-behaviour is the framing and the crypto above it — so the reproduction uses
-an in-process duplex pipe with length-prefixed message framing.
+The provisioning simulation uses an in-process duplex pipe with
+length-prefixed message framing (:class:`SimSocket` / :class:`SocketPair`)
+— deterministic and single-threaded.  The long-lived inspection daemon
+adds two more backends with identical framing and fault-hook coverage:
+:class:`QueueSocket` (thread-safe, blocking, still in-memory — the
+hermetic test transport) and :class:`~repro.net.tcp.TcpSocket` (a real
+TCP stream, for `repro serve`).
 """
 
-from .sock import SocketPair, SimSocket
+from .sock import QueueSocket, SimSocket, SocketPair, queue_pair
+from .tcp import TcpListener, TcpSocket, connect_tcp
 
-__all__ = ["SocketPair", "SimSocket"]
+__all__ = [
+    "SocketPair", "SimSocket",
+    "QueueSocket", "queue_pair",
+    "TcpSocket", "TcpListener", "connect_tcp",
+]

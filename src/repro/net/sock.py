@@ -1,14 +1,33 @@
-"""In-memory duplex sockets with length-prefixed message framing."""
+"""In-memory duplex sockets with length-prefixed message framing.
+
+Two in-memory flavours share one wire format:
+
+* :class:`SimSocket` — the original single-threaded, protocol-driven
+  endpoint.  ``recv`` on an empty inbox is a protocol error, never a
+  wait; the provisioning simulation interleaves both sides explicitly.
+* :class:`QueueSocket` — the thread-safe, *blocking* variant the
+  inspection daemon serves over: ``recv`` waits (bounded by a timeout)
+  for a frame from the handler thread on the other side, and ``close``
+  wakes any blocked receiver.  Frame bytes, the 4-byte length prefix,
+  and the ``net.sock.send`` / ``net.sock.recv`` fault hooks are
+  identical to :class:`SimSocket`, so everything layered above (the
+  secure channel, the daemon protocol) cannot tell the two apart.
+
+:mod:`repro.net.tcp` adds a third backend with the same interface over
+a real TCP connection.
+"""
 
 from __future__ import annotations
 
+import queue
 import struct
+import threading
 from collections import deque
 
 from ..errors import NetError
 from ..faults.hooks import DROP, fault_hook
 
-__all__ = ["SimSocket", "SocketPair"]
+__all__ = ["SimSocket", "SocketPair", "QueueSocket", "queue_pair"]
 
 _LEN = struct.Struct(">I")
 MAX_MESSAGE = 64 * 1024 * 1024  # 64 MiB; larger frames indicate a bug
@@ -113,3 +132,134 @@ class SocketPair:
 
     def __iter__(self):
         return iter((self.left, self.right))
+
+
+#: queue sentinel posted when an endpoint closes (TCP FIN analogue)
+_EOF = object()
+
+
+class QueueSocket:
+    """Thread-safe blocking endpoint; the daemon's in-process transport.
+
+    Same framing, limits, and fault hooks as :class:`SimSocket`, but
+    ``recv`` blocks until the peer's thread sends (or the timeout runs
+    out), and closing either side wakes blocked receivers.  Frames sent
+    before a ``close`` remain receivable — matching TCP, where data
+    queued ahead of the FIN is still delivered.
+    """
+
+    def __init__(self, name: str, *, timeout: float | None = None) -> None:
+        self.name = name
+        self._inbox: "queue.Queue[object]" = queue.Queue()
+        self._peer: "QueueSocket | None" = None
+        self._closed = False
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def _attach(self, peer: "QueueSocket") -> None:
+        self._peer = peer
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def settimeout(self, timeout: float | None) -> None:
+        """Default bound for every subsequent :meth:`recv` wait."""
+        self._timeout = timeout
+
+    def send(self, message: bytes) -> None:
+        """Frame and enqueue one message for the peer's thread."""
+        if self._closed:
+            raise NetError(f"{self.name}: send on closed socket")
+        peer = self._peer
+        if peer is None or peer._closed:
+            raise NetError(f"{self.name}: peer is closed")
+        if len(message) > MAX_MESSAGE:
+            raise NetError(f"{self.name}: message of {len(message)} bytes exceeds frame limit")
+        frame = fault_hook("net.sock.send",
+                           b"".join((_LEN.pack(len(message)), message)),
+                           error=NetError)
+        self.bytes_sent += _LEN.size + len(message)
+        if frame is DROP:
+            return  # lost in transit; the sender already counted it
+        peer._inbox.put(frame)
+
+    def recv(self, timeout: float | None = None) -> bytes:
+        """Block for one framed message; *timeout* overrides the default."""
+        if self._closed:
+            raise NetError(f"{self.name}: recv on closed socket")
+        bound = self._timeout if timeout is None else timeout
+        try:
+            frame = self._inbox.get(timeout=bound)
+        except queue.Empty:
+            raise NetError(
+                f"{self.name}: recv timed out after {bound}s"
+            ) from None
+        if frame is _EOF:
+            # Re-post so every later recv (and any other blocked thread)
+            # also observes the close instead of waiting forever.
+            self._inbox.put(_EOF)
+            raise NetError(f"{self.name}: connection closed by peer")
+        frame = fault_hook("net.sock.recv", frame, error=NetError)
+        if frame is DROP:
+            raise NetError(
+                f"{self.name}: [fault:net.sock.recv:drop] frame lost before receipt"
+            )
+        if len(frame) < _LEN.size:
+            raise NetError(f"{self.name}: corrupt frame (short header)")
+        (length,) = _LEN.unpack_from(frame)
+        body = frame[_LEN.size:]
+        if len(body) != length:
+            raise NetError(f"{self.name}: corrupt frame (header {length}, body {len(body)})")
+        self.bytes_received += len(frame)
+        return body
+
+    def pending(self) -> int:
+        """Approximate number of frames waiting (racy by nature)."""
+        return self._inbox.qsize()
+
+    def drain(self) -> int:
+        """Discard every currently-queued frame; returns how many."""
+        dropped = 0
+        while True:
+            try:
+                frame = self._inbox.get_nowait()
+            except queue.Empty:
+                return dropped
+            if frame is _EOF:
+                self._inbox.put(_EOF)
+                return dropped
+            dropped += 1
+
+    def close(self) -> None:
+        """Close this endpoint, waking both sides' blocked receivers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        # Wake our own blocked recv (shutdown path) and deliver EOF to
+        # the peer behind anything already queued.
+        self._inbox.put(_EOF)
+        peer = self._peer
+        if peer is not None:
+            peer._inbox.put(_EOF)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else f"~{self._inbox.qsize()} pending"
+        return f"<QueueSocket {self.name}: {state}>"
+
+
+def queue_pair(
+    left_name: str = "client",
+    right_name: str = "daemon",
+    *,
+    timeout: float | None = None,
+) -> tuple[QueueSocket, QueueSocket]:
+    """A connected pair of :class:`QueueSocket` endpoints."""
+    left = QueueSocket(left_name, timeout=timeout)
+    right = QueueSocket(right_name, timeout=timeout)
+    left._attach(right)
+    right._attach(left)
+    return left, right

@@ -1,0 +1,201 @@
+"""Real-TCP backend behind the :class:`~repro.net.SimSocket` interface.
+
+The provisioning simulation stays on in-memory sockets, but the
+long-lived inspection daemon also serves real clients: this module
+speaks the exact same 4-byte big-endian length-prefixed framing over an
+OS TCP stream, so :class:`TcpSocket` drops in anywhere a
+:class:`~repro.net.sock.SimSocket` or
+:class:`~repro.net.sock.QueueSocket` is accepted — including under the
+secure channel.  The ``net.sock.send`` / ``net.sock.recv`` fault hooks
+fire on every framed message exactly as they do on the in-memory
+backends, so the chaos soak covers the TCP paths too.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+from ..errors import NetError
+from ..faults.hooks import DROP, fault_hook
+from .sock import MAX_MESSAGE
+
+__all__ = ["TcpSocket", "TcpListener", "connect_tcp"]
+
+_LEN = struct.Struct(">I")
+
+
+class TcpSocket:
+    """One endpoint of a framed message stream over a real TCP socket."""
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        name: str = "tcp",
+        *,
+        timeout: float | None = None,
+    ) -> None:
+        self.name = name
+        self._sock = sock
+        self._closed = False
+        self._sock.settimeout(timeout)
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def settimeout(self, timeout: float | None) -> None:
+        self._sock.settimeout(timeout)
+
+    def send(self, message: bytes) -> None:
+        """Send one framed message."""
+        if self._closed:
+            raise NetError(f"{self.name}: send on closed socket")
+        if len(message) > MAX_MESSAGE:
+            raise NetError(
+                f"{self.name}: message of {len(message)} bytes exceeds frame limit"
+            )
+        frame = fault_hook("net.sock.send",
+                           b"".join((_LEN.pack(len(message)), message)),
+                           error=NetError)
+        self.bytes_sent += _LEN.size + len(message)
+        if frame is DROP:
+            return  # lost in transit; the sender already counted it
+        try:
+            self._sock.sendall(frame if isinstance(frame, bytes) else bytes(frame))
+        except OSError as exc:
+            raise NetError(f"{self.name}: send failed: {exc}") from exc
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._sock.recv(remaining)
+            except socket.timeout:
+                raise NetError(f"{self.name}: recv timed out") from None
+            except OSError as exc:
+                raise NetError(f"{self.name}: recv failed: {exc}") from exc
+            if not chunk:
+                raise NetError(f"{self.name}: connection closed by peer")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def recv(self, timeout: float | None = None) -> bytes:
+        """Receive one framed message, verifying the frame header.
+
+        The fault hook sees the whole reassembled frame (header
+        included), mirroring the in-memory backends, so an injected
+        truncate/bitflip is caught by the same header validation.
+        """
+        if self._closed:
+            raise NetError(f"{self.name}: recv on closed socket")
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        header = self._recv_exact(_LEN.size)
+        (length,) = _LEN.unpack(header)
+        if length > MAX_MESSAGE:
+            raise NetError(
+                f"{self.name}: announced frame of {length} bytes exceeds frame limit"
+            )
+        frame = fault_hook("net.sock.recv", header + self._recv_exact(length),
+                           error=NetError)
+        if frame is DROP:
+            raise NetError(
+                f"{self.name}: [fault:net.sock.recv:drop] frame lost before receipt"
+            )
+        if len(frame) < _LEN.size:
+            raise NetError(f"{self.name}: corrupt frame (short header)")
+        (length,) = _LEN.unpack_from(frame)
+        body = frame[_LEN.size:]
+        if len(body) != length:
+            raise NetError(
+                f"{self.name}: corrupt frame (header {length}, body {len(body)})"
+            )
+        self.bytes_received += len(frame)
+        return bytes(body)
+
+    def pending(self) -> int:
+        """Unknowable for a kernel stream; reported as 0."""
+        return 0
+
+    def drain(self) -> int:
+        """Discard whatever the kernel has buffered right now."""
+        dropped = 0
+        self._sock.setblocking(False)
+        try:
+            while True:
+                try:
+                    if not self._sock.recv(65536):
+                        break
+                except (BlockingIOError, OSError):
+                    break
+                dropped += 1
+        finally:
+            self._sock.setblocking(True)
+        return dropped
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"<TcpSocket {self.name}: {state}>"
+
+
+class TcpListener:
+    """Accepting side of the TCP backend (loopback by default)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, backlog: int = 16) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(backlog)
+        self.host, self.port = self._sock.getsockname()[:2]
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def accept(self, timeout: float | None = None) -> TcpSocket:
+        """Accept one connection; raises :class:`NetError` on timeout/close."""
+        try:
+            # close() can race us between these calls — both convert to
+            # NetError so an accept loop shuts down without a traceback
+            self._sock.settimeout(timeout)
+            conn, addr = self._sock.accept()
+        except socket.timeout:
+            raise NetError("accept timed out") from None
+        except OSError as exc:
+            raise NetError(f"accept failed: {exc}") from exc
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return TcpSocket(conn, name=f"tcp:{addr[0]}:{addr[1]}")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._sock.close()
+
+
+def connect_tcp(
+    host: str, port: int, *, timeout: float | None = 10.0, name: str | None = None
+) -> TcpSocket:
+    """Dial the daemon; returns a framed :class:`TcpSocket`."""
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        raise NetError(f"connect to {host}:{port} failed: {exc}") from exc
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return TcpSocket(sock, name=name or f"tcp:{host}:{port}", timeout=timeout)

@@ -15,6 +15,12 @@ The batch front-end is also where the fail-closed resilience layer
 lives: retry-with-backoff, per-item deadlines, a :class:`Quarantine`
 for repeat offenders, and pool-to-serial degradation (see
 ``docs/RESILIENCE.md``).
+
+On top of all of it sits the long-lived serving layer (see
+``docs/DAEMON.md``): :class:`InspectionDaemon` keeps the whole stack
+warm behind a framed, versioned socket protocol with per-connection
+attestation, and :class:`InspectionClient` is the tenant SDK that
+verifies the daemon before trusting a single verdict.
 """
 
 from .batch import (
@@ -30,11 +36,23 @@ from .cache import (
     ProvisioningVerdictCache,
     cache_key,
 )
+from .client import (
+    ClientVerdict,
+    InspectionClient,
+    RemoteError,
+    device_key_from_announce,
+)
 from .corpus import VARIANT_KINDS, generate_variant_corpus
+from .daemon import InspectionDaemon
+from .metrics import DaemonMetrics, LatencyHistogram
+from .pool import EnclavePool, PooledEnclave
 
 __all__ = [
     "BatchInspector", "BatchItemResult", "BatchReport", "BatchSummary",
     "Quarantine",
     "InspectionCache", "ProvisioningVerdictCache", "CacheStats", "cache_key",
     "generate_variant_corpus", "VARIANT_KINDS",
+    "InspectionDaemon", "InspectionClient", "ClientVerdict", "RemoteError",
+    "device_key_from_announce",
+    "EnclavePool", "PooledEnclave", "DaemonMetrics", "LatencyHistogram",
 ]

@@ -163,6 +163,18 @@ class BatchItemResult:
         return self.source == "cache"
 
 
+#: the stable, always-present shape of ``BatchSummary.resilience`` — a
+#: plain batch reports exactly these keys with these idle values
+ZERO_RESILIENCE = {
+    "retries": 0,
+    "retry_attempts": 0,
+    "deadline": None,
+    "quarantined_items": 0,
+    "quarantined_keys": 0,
+    "degraded_to_serial": False,
+}
+
+
 @dataclass
 class BatchSummary:
     """Throughput and cache accounting for one batch."""
@@ -178,10 +190,10 @@ class BatchSummary:
     workers: int = 1
     mode: str = "process"
     cache: dict = field(default_factory=dict)
-    #: retry/quarantine/degradation accounting — ``None`` unless the
-    #: resilience layer is configured, so the wire form of a plain batch
-    #: stays byte-identical to the pre-resilience service
-    resilience: dict | None = None
+    #: retry/quarantine/degradation accounting — ALWAYS present with the
+    #: full key set (zeroed when the resilience layer is idle), so the
+    #: summary's JSON schema is stable for monitoring consumers
+    resilience: dict = field(default_factory=lambda: dict(ZERO_RESILIENCE))
 
     @property
     def binaries_per_second(self) -> float:
@@ -201,9 +213,8 @@ class BatchSummary:
             "workers": self.workers,
             "mode": self.mode,
             "cache": dict(self.cache),
+            "resilience": dict(self.resilience),
         }
-        if self.resilience is not None:
-            payload["resilience"] = dict(self.resilience)
         return payload
 
 
@@ -502,21 +513,26 @@ class BatchInspector:
         summary.wall_seconds = time.perf_counter() - t0
         if self.cache is not None:
             summary.cache = self.cache.stats().as_dict()
-        if (
-            self.retries
-            or self.deadline is not None
-            or self.quarantine is not None
-            or self._degraded
-        ):
-            summary.resilience = {
-                "retries": self.retries,
-                "retry_attempts": self._retry_attempts,
-                "deadline": self.deadline,
-                "quarantined_items": quarantined_items,
-                "quarantined_keys": len(self.quarantine) if self.quarantine else 0,
-                "degraded_to_serial": self._degraded,
-            }
+        summary.resilience = self.resilience_stats(
+            quarantined_items=quarantined_items
+        )
         return BatchReport(results=final, summary=summary)
+
+    def resilience_stats(self, *, quarantined_items: int = 0) -> dict:
+        """The retry/quarantine/degradation accounting dict.
+
+        Same key set as :data:`ZERO_RESILIENCE` always — configured-but-
+        idle layers report their settings with zeroed activity, so both
+        the batch summary and the daemon's METRICS keep a fixed schema.
+        """
+        return {
+            "retries": self.retries,
+            "retry_attempts": self._retry_attempts,
+            "deadline": self.deadline,
+            "quarantined_items": quarantined_items,
+            "quarantined_keys": len(self.quarantine) if self.quarantine else 0,
+            "degraded_to_serial": self._degraded,
+        }
 
     # ------------------------------------------------------------ drivers
 

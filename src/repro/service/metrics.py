@@ -1,0 +1,143 @@
+"""Daemon observability: counters and per-stage latency histograms.
+
+Everything here is provider-side service infrastructure (outside the
+enclave TCB) and must be safe to update from many handler threads at
+once: one lock per object, O(1) per observation, and ``snapshot()``
+returns plain JSON-ready dicts so the ``METRICS`` verb is a straight
+``json.dumps``.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = ["LatencyHistogram", "DaemonMetrics"]
+
+#: log-spaced bucket upper bounds in seconds (plus a +Inf overflow bucket)
+_DEFAULT_BOUNDS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with summary statistics.
+
+    Buckets are cumulative-style on export (`"le"` upper bounds, like a
+    Prometheus histogram) so dashboards can derive quantiles;
+    :meth:`quantile` gives a bucket-resolution estimate directly.
+    """
+
+    def __init__(self, bounds: tuple[float, ...] = _DEFAULT_BOUNDS) -> None:
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bounds = tuple(float(b) for b in bounds)
+        self._counts = [0] * (len(self.bounds) + 1)  # +1: overflow bucket
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            seconds = 0.0
+        idx = bisect_left(self.bounds, seconds)
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum += seconds
+            if self._min is None or seconds < self._min:
+                self._min = seconds
+            if self._max is None or seconds > self._max:
+                self._max = seconds
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the *q*-quantile (0 if empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        with self._lock:
+            total = self._count
+            if total == 0:
+                return 0.0
+            rank = max(1, round(q * total))
+            running = 0
+            for idx, n in enumerate(self._counts):
+                running += n
+                if running >= rank:
+                    if idx < len(self.bounds):
+                        return self.bounds[idx]
+                    return self._max or self.bounds[-1]
+        return self._max or 0.0  # pragma: no cover - loop always returns
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            buckets = {}
+            cumulative = 0
+            for bound, n in zip(self.bounds, self._counts):
+                cumulative += n
+                buckets[f"{bound:g}"] = cumulative
+            buckets["+Inf"] = cumulative + self._counts[-1]
+            return {
+                "count": self._count,
+                "sum_seconds": round(self._sum, 6),
+                "min_seconds": round(self._min, 6) if self._min is not None else None,
+                "max_seconds": round(self._max, 6) if self._max is not None else None,
+                "buckets_le": buckets,
+            }
+
+
+class DaemonMetrics:
+    """All the counters one daemon exports, plus its stage histograms.
+
+    Counter names are free-form dotted strings (``requests.SUBMIT``,
+    ``errors.protocol``...); histograms are created on first use per
+    stage name.  A counter that never fired still shows up as 0 once
+    :meth:`touch` declared it, so the METRICS schema is stable.
+    """
+
+    STAGES = ("attest", "handshake", "inspect", "request")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self.histograms: dict[str, LatencyHistogram] = {
+            stage: LatencyHistogram() for stage in self.STAGES
+        }
+
+    def touch(self, *names: str) -> None:
+        """Declare counters so they export as 0 before first increment."""
+        with self._lock:
+            for name in names:
+                self._counters.setdefault(name, 0)
+
+    def inc(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe(self, stage: str, seconds: float) -> None:
+        hist = self.histograms.get(stage)
+        if hist is None:
+            with self._lock:
+                hist = self.histograms.setdefault(stage, LatencyHistogram())
+        hist.observe(seconds)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+        return {
+            "counters": counters,
+            "latency": {
+                stage: hist.as_dict()
+                for stage, hist in sorted(self.histograms.items())
+            },
+        }

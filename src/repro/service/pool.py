@@ -1,0 +1,169 @@
+"""A pool of pre-provisioned EnGarde enclaves for the inspection daemon.
+
+Building an attestable enclave is the expensive part of accepting a
+client: ECREATE + measured EADD/EEXTEND of the EnGarde bootstrap, the
+client region and heap, EINIT, and an RSA channel keypair.  A long-lived
+daemon amortizes all of it by keeping *size* ready-to-attest enclaves
+warm; a connection checks one out for its lifetime (the quote must bind
+*that* enclave's measurement to *that* connection's channel key) and
+returns it at hangup.  An empty pool builds a fresh entry on demand —
+counted as a ``miss`` so METRICS shows when the pool is undersized.
+
+All entries live on one simulated :class:`~repro.sgx.SgxMachine`, so a
+single quoting enclave (one published device key) covers the whole
+daemon — exactly like one physical SGX host.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from ..core.engarde import EnGarde
+from ..core.policy import PolicyRegistry
+from ..core.provisioning import ENCLAVE_BASE, _bootstrap_pages
+from ..crypto import HmacDrbg
+from ..crypto.rsa import RsaPrivateKey, generate_keypair
+from ..errors import ServiceError
+from ..sgx import HostOS, PAGE_SIZE, QuotingEnclave, SgxMachine, SgxParams
+from ..sgx.host import EnclaveRuntime
+from ..sgx.isa import Report
+
+__all__ = ["EnclavePool", "PooledEnclave"]
+
+
+@dataclass
+class PooledEnclave:
+    """One ready-to-attest enclave plus its channel identity."""
+
+    index: int
+    runtime: EnclaveRuntime
+    keypair: RsaPrivateKey
+    #: EREPORT binding the channel-key fingerprint into the measurement
+    report: Report
+
+
+class EnclavePool:
+    """Thread-safe checkout/checkin pool of pre-built enclaves."""
+
+    def __init__(
+        self,
+        policies: PolicyRegistry,
+        *,
+        size: int = 2,
+        rsa_bits: int = 1024,
+        heap_pages: int = 128,
+        client_pages: int = 256,
+        enclave_pages: int = 0x4000,
+        concurrency: int = 32,
+        params: SgxParams | None = None,
+        rng: HmacDrbg | None = None,
+        prebuild: bool = True,
+    ) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.policies = policies
+        self.size = size
+        self.rsa_bits = rsa_bits
+        self.heap_pages = heap_pages
+        self.client_pages = client_pages
+        self.enclave_pages = enclave_pages
+        self.rng = rng or HmacDrbg(b"enclave-pool")
+        if params is None:
+            # EPC must hold every *concurrently checked-out* enclave, not
+            # just the pooled ones: each live connection owns an entry,
+            # so size the limit for the daemon's connection ceiling
+            # (pages are a limit, not an allocation — big is free).
+            per_enclave = client_pages + heap_pages + 16
+            params = SgxParams(
+                epc_pages=per_enclave * (size + max(concurrency, 2)) + 512,
+                heap_initial_pages=heap_pages,
+            )
+        self.params = params
+        self.machine = SgxMachine(self.params)
+        self.host = HostOS(self.machine)
+        self.quoting_enclave = QuotingEnclave(
+            self.machine, self.rng.fork(b"qe")
+        )
+        self._lock = threading.Lock()
+        self._available: deque[PooledEnclave] = deque()
+        self._built = 0
+        self._checkouts = 0
+        self._checkins = 0
+        self._misses = 0
+        if prebuild:
+            self.warm()
+
+    # ------------------------------------------------------------------
+
+    def warm(self) -> None:
+        """Build entries until *size* are available (idempotent)."""
+        while True:
+            with self._lock:
+                if len(self._available) >= self.size:
+                    return
+            entry = self._build()
+            with self._lock:
+                self._available.append(entry)
+
+    def _build(self) -> PooledEnclave:
+        """One ECREATE→EINIT cycle plus channel keygen and EREPORT."""
+        with self._lock:
+            index = self._built
+            self._built += 1
+        engarde = EnGarde(self.policies)
+        runtime = self.host.build_enclave(
+            base=ENCLAVE_BASE,
+            size=self.enclave_pages * PAGE_SIZE,
+            bootstrap_pages=_bootstrap_pages(engarde),
+            heap_pages=self.heap_pages,
+            client_pages=self.client_pages,
+        )
+        self.machine.eenter(runtime.enclave)
+        keypair = generate_keypair(
+            self.rsa_bits, self.rng.fork(b"pool-%d" % index)
+        )
+        report = self.machine.ereport(
+            runtime.enclave, keypair.public_key.fingerprint()
+        )
+        return PooledEnclave(
+            index=index, runtime=runtime, keypair=keypair, report=report,
+        )
+
+    def checkout(self) -> PooledEnclave:
+        """Take an enclave for one connection (building on a pool miss)."""
+        with self._lock:
+            self._checkouts += 1
+            if self._available:
+                return self._available.popleft()
+            self._misses += 1
+        return self._build()
+
+    def checkin(self, entry: PooledEnclave) -> None:
+        """Return a connection's enclave; surplus entries are torn down.
+
+        The enclave was only ever *attested* — no client content touched
+        it — so reuse is safe: every connection still gets a fresh
+        session key bound to the entry's attested fingerprint.
+        """
+        if not isinstance(entry, PooledEnclave):
+            raise ServiceError("checkin of a non-pool object")
+        with self._lock:
+            self._checkins += 1
+            if len(self._available) < self.size:
+                self._available.append(entry)
+                return
+        self.machine.eexit(entry.runtime.enclave)
+        self.machine.destroy(entry.runtime.enclave)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": self.size,
+                "available": len(self._available),
+                "built": self._built,
+                "checkouts": self._checkouts,
+                "checkins": self._checkins,
+                "misses": self._misses,
+            }

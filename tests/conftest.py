@@ -109,3 +109,38 @@ def small_provider(policies, **overrides):
     )
     defaults.update(overrides)
     return CloudProvider(policies, **defaults)
+
+
+def small_daemon(policies, **overrides):
+    """A started InspectionDaemon with test-friendly sizes.
+
+    Same geometry as :func:`small_provider` so attestation-side numbers
+    (MRENCLAVE inputs, RSA sizes) stay comparable across test suites.
+    """
+    from repro.service import InspectionDaemon
+
+    defaults = dict(
+        pool_size=1,
+        rsa_bits=768,
+        heap_pages=64,
+        client_pages=64,
+        enclave_pages=0x2000,
+    )
+    defaults.update(overrides)
+    daemon = InspectionDaemon(policies, **defaults)
+    daemon.start()
+    return daemon
+
+
+def daemon_client(daemon, policies, **overrides):
+    """An InspectionClient wired to *daemon* over the in-proc transport."""
+    from repro.service import InspectionClient
+
+    defaults = dict(timeout=5.0)
+    defaults.update(overrides)
+    return InspectionClient(
+        policies,
+        daemon.pool.quoting_enclave.device_public_key,
+        daemon.connect_inproc,
+        **defaults,
+    )

@@ -1,0 +1,225 @@
+"""Concurrency battery for the inspection daemon.
+
+Many threads × many attested clients hammer one warm daemon; every
+verdict that comes back over a secure channel must serialize
+byte-identically to what a lone sequential ``EnGarde.inspect`` produces
+for the same binary (the same oracle the batch differential suite
+uses).  On top of byte identity: no dropped responses, no duplicated
+responses, and cache/metrics accounting that adds up exactly.
+
+The final test is the PR's acceptance run: 16 concurrent clients
+against the warm daemon under a *seeded fault plan*, with a hard
+wall-clock bound standing in for "zero protocol hangs".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core import EnGarde
+from repro.core.provisioning import ResilienceConfig
+from repro.faults.chaos import _TYPED_ERROR
+from repro.faults.clock import FakeClock
+from repro.faults.hooks import injected
+from repro.faults.plan import FaultPlan
+from repro.service import generate_variant_corpus
+
+from tests.conftest import daemon_client, small_daemon
+
+CORPUS_SIZE = 18
+#: wall-clock ceiling for any single concurrent run — the "no hangs" bound
+MAX_WALL_SECONDS = 120.0
+
+
+@pytest.fixture(scope="module")
+def corpus(libc):
+    return generate_variant_corpus(CORPUS_SIZE, libc=libc)
+
+
+@pytest.fixture(scope="module")
+def baseline(corpus, all_policies):
+    """Sequential ground truth: one EnGarde, one binary at a time."""
+    engarde = EnGarde(all_policies)
+    return {
+        label: engarde.inspect(raw, benchmark=label).report.serialize()
+        for label, raw in corpus
+    }
+
+
+@pytest.fixture(scope="module")
+def daemon(all_policies):
+    d = small_daemon(all_policies, pool_size=2, max_connections=32)
+    yield d
+    d.stop()
+
+
+def _hammer(daemon, policies, corpus, n_clients, *, rotate=True,
+            resilience=None, timeout=5.0):
+    """n_clients threads, each with its own attested connection, each
+    submitting the full corpus (in a per-thread rotation so threads are
+    never in lockstep).  Returns {thread: [(label, verdict), ...]}."""
+    results: dict[int, list] = {i: [] for i in range(n_clients)}
+    errors: list[BaseException] = []
+
+    def worker(tid: int) -> None:
+        client = daemon_client(
+            daemon, policies, resilience=resilience, timeout=timeout,
+        )
+        try:
+            order = (
+                corpus[tid % len(corpus):] + corpus[:tid % len(corpus)]
+                if rotate else corpus
+            )
+            for label, raw in order:
+                # inspect() owns connect/attest/retry — even a fault that
+                # kills the handshake surfaces as a typed verdict here
+                results[tid].append((label, client.inspect(raw, label)))
+            if client.connected:
+                # one response per request: nothing may still be queued
+                assert client._sock.pending() == 0
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            errors.append(exc)
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"client-{i}")
+        for i in range(n_clients)
+    ]
+    t0 = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(MAX_WALL_SECONDS)
+    wall = time.monotonic() - t0
+    hung = [t.name for t in threads if t.is_alive()]
+    assert not hung, f"protocol hang: {hung} still alive after {wall:.0f}s"
+    assert not errors, errors
+    assert wall < MAX_WALL_SECONDS
+    return results
+
+
+def test_concurrent_clients_match_serial_oracle(
+    daemon, all_policies, corpus, baseline
+):
+    """8 clients × full corpus: every verdict byte-identical, none lost."""
+    n_clients = 8
+    results = _hammer(daemon, all_policies, corpus, n_clients)
+    total = 0
+    for tid, verdicts in results.items():
+        # no dropped responses: one verdict per submission, in order
+        assert [lbl for lbl, _ in verdicts] == [
+            lbl for lbl, _ in
+            corpus[tid % len(corpus):] + corpus[:tid % len(corpus)]
+        ]
+        for label, v in verdicts:
+            assert v.error is None, (label, v.error)
+            assert v.report is not None
+            # the oracle: byte-identical to sequential EnGarde
+            assert v.wire == baseline[label], label
+            total += 1
+    assert total == n_clients * len(corpus)
+
+
+def test_cache_and_metrics_accounting_is_consistent(
+    daemon, all_policies, corpus
+):
+    """After a clean hammer run the daemon's books must balance."""
+    before = dict(daemon.metrics.snapshot()["counters"])
+    n_clients = 4
+    _hammer(daemon, all_policies, corpus, n_clients)
+    after = daemon.metrics.snapshot()["counters"]
+    submitted = after["requests.SUBMIT"] - before["requests.SUBMIT"]
+    assert submitted == n_clients * len(corpus)
+    outcomes = sum(
+        after[k] - before[k]
+        for k in ("submits.accepted", "submits.rejected", "submits.errors")
+    )
+    # every submission produced exactly one verdict-class outcome
+    assert outcomes == submitted
+    # the corpus was warm (previous test) — everything after is a hit
+    hits = after["submits.cache_hits"] - before["submits.cache_hits"]
+    assert hits == submitted
+    # content addressing: the cache never holds more than the unique keys
+    assert len(daemon.cache) <= len(corpus)
+    stats = daemon.cache.stats().as_dict()
+    assert stats["hits"] >= hits
+    # latency histograms saw every request
+    hist = daemon.metrics.histograms["request"]
+    assert hist.count >= submitted
+
+
+def test_acceptance_16_clients_seeded_faults_no_hangs(
+    daemon, all_policies, corpus, baseline
+):
+    """The PR acceptance run.
+
+    16 concurrent clients against the warm daemon under a seeded fault
+    plan covering the socket, channel, and worker hook sites.  Every
+    report that comes back must be byte-identical to the serial oracle;
+    everything else must be a typed fail-closed error; the whole run
+    must finish inside the wall bound (zero protocol hangs); and
+    STATUS/METRICS must then show non-trivial cache and latency data.
+    """
+    # warm the verdict cache so the run exercises the hot path
+    warm = daemon_client(daemon, all_policies)
+    with warm:
+        for label, raw in corpus:
+            warm.inspect(raw, label)
+
+    plan = FaultPlan.randomized(
+        seed=1337,
+        hooks=(
+            "net.sock.send", "net.sock.recv",
+            "crypto.channel.send", "crypto.channel.recv",
+            "service.batch.worker", "service.batch.verdict",
+        ),
+        n_specs=4,
+        probability=0.1,
+        clock=FakeClock(),
+        hang_seconds=30.0,
+    )
+    resilience = ResilienceConfig(
+        max_retransmits=3, backoff_base=0.0, clock=FakeClock()
+    )
+    with injected(plan):
+        results = _hammer(
+            daemon, all_policies, corpus, 16,
+            resilience=resilience, timeout=2.0,
+        )
+
+    delivered = 0
+    typed_failures = 0
+    for verdicts in results.values():
+        for label, v in verdicts:
+            if v.report is not None:
+                # byte-identical or it did not happen — faults may delay
+                # or kill a verdict, never corrupt one
+                assert v.wire == baseline[label], label
+                delivered += 1
+            else:
+                assert v.error is not None
+                assert _TYPED_ERROR.match(v.error), (label, v.error)
+                typed_failures += 1
+    total = 16 * len(corpus)
+    assert delivered + typed_failures == total
+    # retries must actually be recovering: most submissions succeed
+    assert delivered >= total // 2, (delivered, typed_failures)
+
+    # STATUS/METRICS report non-trivial data after the storm
+    probe = daemon_client(daemon, all_policies)
+    status = probe.status()
+    assert status["status"] == "ok"
+    metrics = probe.metrics()
+    counters = metrics["counters"]
+    assert counters["requests.SUBMIT"] >= total
+    assert counters["submits.cache_hits"] > 0
+    cache = metrics["cache"]
+    assert cache["hits"] > 0 and 0.0 < cache["hit_ratio"] <= 1.0
+    for stage in ("attest", "handshake", "inspect", "request"):
+        assert metrics["latency"][stage]["count"] > 0, stage
+    assert metrics["resilience"]["retries"] == 0  # daemon-side layer idle
+    assert metrics["pool"]["checkouts"] > 16

@@ -1,0 +1,94 @@
+"""End-to-end smoke: ``repro serve`` in a real subprocess over real TCP.
+
+The one test here is what the CI daemon-smoke job runs: start the CLI
+daemon on loopback, do a full SDK round-trip (attest → submit →
+verdict), probe STATUS and METRICS, then SIGTERM and require a clean
+exit — all under a hard wall-clock budget so a wedged daemon fails
+instead of hanging the suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.net import connect_tcp
+from repro.service import InspectionClient, device_key_from_announce
+
+#: the whole smoke (libc build + daemon warm-up + round trip) must fit here
+HARD_TIMEOUT = 180.0
+
+
+@pytest.fixture()
+def serve_proc():
+    env = dict(os.environ)
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env["PYTHONPATH"] = os.path.join(root, "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--max-uptime", str(HARD_TIMEOUT)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        env=env, cwd=root, text=True,
+    )
+    try:
+        yield proc
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.communicate(timeout=30)
+
+
+def test_serve_roundtrip_status_metrics_shutdown(
+    serve_proc, libc, all_policies
+):
+    t0 = time.monotonic()
+    # the announce line is the daemon's out-of-band bootstrap record
+    line = serve_proc.stdout.readline()
+    assert line, serve_proc.stderr.read()
+    announce = json.loads(line)
+    assert announce["host"] == "127.0.0.1"
+    assert announce["protocol_version"] == 1
+
+    # the CLI serves the stack-protection registry by default
+    from repro.core import PolicyRegistry
+    from repro.harness.runner import make_policy
+    from repro.service.corpus import generate_variant_corpus
+
+    policies = PolicyRegistry([make_policy("stack-protection", libc)])
+    corpus = generate_variant_corpus(2, libc=libc)
+
+    client = InspectionClient(
+        policies,
+        device_key_from_announce(announce),
+        lambda: connect_tcp(announce["host"], announce["port"]),
+        timeout=30.0,
+    )
+    label, raw = corpus[0]
+    verdict = client.inspect(raw, label)
+    assert verdict.report is not None, verdict.error
+    # same binary again: the daemon's verdict cache answers, byte-identical
+    again = client.inspect(raw, label)
+    assert again.source == "cache"
+    assert again.wire == verdict.wire
+
+    status = client.status()
+    assert status["status"] == "ok"
+    assert status["connections_active"] >= 1
+    metrics = client.metrics()
+    assert metrics["counters"]["requests.SUBMIT"] == 2
+    assert metrics["cache"]["hits"] >= 1
+    assert metrics["latency"]["inspect"]["count"] >= 1
+    assert metrics["resilience"]["retries"] == 1  # CLI default
+    client.close()
+
+    serve_proc.send_signal(signal.SIGTERM)
+    out, err = serve_proc.communicate(timeout=60)
+    assert serve_proc.returncode == 0, err
+    assert "daemon stopped" in err
+    assert time.monotonic() - t0 < HARD_TIMEOUT

@@ -268,14 +268,42 @@ def test_identical_seeds_identical_outcomes(all_policies, good_elf, demo_plain):
     assert first[1], "the seeded plan must actually have fired"
 
 
-def test_plain_batch_summary_has_no_resilience_key(all_policies, good_elf):
-    """With the resilience layer off, the wire format is the pre-PR one."""
+def test_batch_summary_resilience_schema_is_stable(all_policies, good_elf):
+    """``summary.resilience`` is always present with the full key set.
+
+    A plain batch reports the zeroed schema (monitoring consumers never
+    see the key appear and disappear); a configured batch reports the
+    same keys with live values.  This pins the JSON schema.
+    """
+    from repro.service.batch import ZERO_RESILIENCE
+
     inspector = BatchInspector(all_policies, mode="serial")
     report = inspector.inspect_batch([("a", good_elf)])
     payload = json.loads(report.to_json())
-    assert "resilience" not in payload["summary"]
-    assert report.summary.resilience is None
-    # and with it on, the key appears
-    resilient = BatchInspector(all_policies, mode="serial", retries=1)
+    assert payload["summary"]["resilience"] == ZERO_RESILIENCE
+    assert report.summary.resilience == ZERO_RESILIENCE
+    # with the layer on: same key set, live values
+    resilient = BatchInspector(
+        all_policies, mode="serial", retries=1, deadline=5.0,
+        quarantine_threshold=2,
+    )
     payload = json.loads(resilient.inspect_batch([("a", good_elf)]).to_json())
-    assert payload["summary"]["resilience"]["retries"] == 1
+    block = payload["summary"]["resilience"]
+    assert set(block) == set(ZERO_RESILIENCE)
+    assert block["retries"] == 1
+    assert block["deadline"] == 5.0
+    assert block["retry_attempts"] == 0
+    assert block["quarantined_keys"] == 0
+    assert block["degraded_to_serial"] is False
+
+    # the schema contract itself: key -> JSON type, pinned
+    schema = {
+        "retries": int, "retry_attempts": int,
+        "deadline": (int, float, type(None)),
+        "quarantined_items": int, "quarantined_keys": int,
+        "degraded_to_serial": bool,
+    }
+    for block in (payload["summary"]["resilience"], ZERO_RESILIENCE):
+        assert set(block) == set(schema)
+        for key, types in schema.items():
+            assert isinstance(block[key], types), key
