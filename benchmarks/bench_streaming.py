@@ -1,0 +1,400 @@
+"""Streaming provisioning benchmark: overlapped receive + delta updates.
+
+Measures the streamed receive path against the frozen phased oracle:
+
+* **recv primitive** — per-record MAC verification with the channel's
+  session-lifetime HMAC midstates vs the per-record key schedule and
+  header/ciphertext join it replaced,
+* one **cold** end-to-end provisioning run, streamed vs phased, on an
+  nginx-class binary with the provider's production enclave geometry
+  (the 1.5x acceptance bar),
+* a **delta** scenario — the same binary comes back with one function's
+  immediate changed; the provider's delta index re-pays decode and the
+  super-linear policy scan only for the changed function (the 3x-vs-cold
+  acceptance bar),
+* the **differential check**: byte-identical wire transcripts (every
+  socket frame of both the v1 and v2 runs), identical verdict bytes,
+  and tick-identical cumulative meter totals between the two modes.
+  Any divergence fails the benchmark — streaming may only change
+  wall-clock.
+
+Results land in ``BENCH_streaming.json`` (uploaded as a CI artifact).
+
+Runs both under pytest (``PYTHONPATH=src python -m pytest benchmarks/
+bench_streaming.py``) and as a script (``python benchmarks/
+bench_streaming.py [--quick] [--output PATH]``).  Quick mode (CI):
+``--quick`` or ``REPRO_BENCH_QUICK=1`` shrinks the workload; the
+wall-clock bars are only enforced at full scale, the differential
+always.
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.core import (
+    CloudProvider,
+    EnclaveClient,
+    IfccPolicy,
+    LibraryLinkingPolicy,
+    PolicyRegistry,
+    StackProtectionPolicy,
+    provision,
+)
+from repro.crypto import HmacDrbg
+from repro.crypto.mac import HmacKey
+from repro.crypto.rsa import generate_keypair
+from repro.elf import read_elf
+from repro.net import sock as sock_module
+from repro.sgx import SgxParams
+from repro.toolchain import build_libc
+from repro.toolchain.workloads import build_workload
+from repro.x86 import iter_decode
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+DEFAULT_OUTPUT = "BENCH_streaming.json"
+
+WORKLOAD = "nginx"
+SCALE_FULL = 0.3
+SCALE_QUICK = 0.05
+
+#: acceptance bars, enforced at full scale
+COLD_BAR = 1.5
+DELTA_BAR = 3.0
+
+
+def _build_policies(libc) -> PolicyRegistry:
+    return PolicyRegistry([
+        LibraryLinkingPolicy(libc.reference_hashes()),
+        StackProtectionPolicy(exempt_functions=set(libc.offsets)),
+        IfccPolicy(),
+    ])
+
+
+def _make_provider(policies, *, streaming: bool, keypair) -> CloudProvider:
+    # Deliberately the provider's default client-region geometry (2048
+    # pages): the streamed wins include fast measurement replay over the
+    # full region, exactly what a production provider pays.
+    return CloudProvider(
+        policies,
+        params=SgxParams(epc_pages=8192, heap_initial_pages=512),
+        rsa_bits=1024,
+        channel_keypair=keypair,
+        streaming=streaming,
+    )
+
+
+def make_updated_binary(raw: bytes, libc) -> bytes:
+    """v2 of *raw*: one mov-immediate byte flipped inside one application
+    function — same layout, same symbols, one changed function body."""
+    img = read_elf(raw)
+    text = img.text_sections[0]
+    exempt = set(libc.offsets) | {"_start"}
+    funcs = sorted(
+        (s.value - text.vaddr, s.name) for s in img.function_symbols()
+    )
+    app = [(off, name) for off, name in funcs if name not in exempt]
+    starts = [off for off, _ in funcs]
+    off, _name = app[len(app) // 2]
+    idx = bisect.bisect_right(starts, off)
+    end = starts[idx] if idx < len(starts) else len(text.data)
+    for insn in iter_decode(text.data, off, end):
+        if (insn.mnemonic == "mov" and insn.target is None
+                and insn.num_immediate_bytes >= 4):
+            file_off = (text.offset + insn.offset + insn.length
+                        - insn.num_immediate_bytes)
+            mutated = bytearray(raw)
+            mutated[file_off] ^= 0x5A
+            return bytes(mutated)
+    raise AssertionError("no mov-immediate found in the chosen function")
+
+
+# --------------------------------------------------------------- primitive
+
+def _best(fn, *, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_recv_primitive(*, quick: bool) -> dict:
+    """Per-record MAC verify: session-lifetime HMAC midstates vs the
+    per-record shape (fresh key schedule + header/ciphertext join)."""
+    repeats = 3 if quick else 5
+    record = 4 * 1024
+    n_records = 96 if quick else 384
+    total = record * n_records
+    mac_key = bytes(range(32))
+    header = b"\x00" * 8
+    body = memoryview(bytes(range(256)) * (record // 256))
+    prepared = HmacKey(mac_key)
+
+    def per_record() -> None:
+        for _ in range(n_records):
+            # what every record paid before: rebuild both pad midstates
+            # from the key, and join header+ciphertext for the one-shot
+            HmacKey(mac_key).mac(header + bytes(body))
+
+    def midstate() -> None:
+        for _ in range(n_records):
+            prepared.mac(header, body)
+
+    mib = 1024 * 1024
+    cold_s = _best(per_record, repeats=repeats)
+    warm_s = _best(midstate, repeats=repeats)
+    return {
+        "record_bytes": record,
+        "records": n_records,
+        "per_record_mib_s": round(total / mib / cold_s, 2),
+        "midstate_mib_s": round(total / mib / warm_s, 2),
+        "speedup": round(cold_s / warm_s, 2),
+    }
+
+
+# ------------------------------------------------------------- end to end
+
+def _timed_provision(provider, policies, raw: bytes, *, streaming: bool):
+    client = EnclaveClient(
+        raw, policies=policies, benchmark=WORKLOAD, streaming=streaming,
+    )
+    t0 = time.perf_counter()
+    result = provision(provider, client)
+    elapsed = time.perf_counter() - t0
+    assert result.accepted, "benchmark workload must provision cleanly"
+    return elapsed, result
+
+
+def bench_end_to_end(policies, raw: bytes, v2: bytes) -> dict:
+    from repro.core import provisioning as prov_module
+
+    keypair = generate_keypair(1024, HmacDrbg(b"bench-streaming-keypair"))
+
+    prov_module._MRENCLAVE_MEMO.clear()
+    phased_provider = _make_provider(policies, streaming=False, keypair=keypair)
+    phased_cold, _ = _timed_provision(
+        phased_provider, policies, raw, streaming=False,
+    )
+
+    prov_module._MRENCLAVE_MEMO.clear()
+    streamed_provider = _make_provider(
+        policies, streaming=True, keypair=keypair,
+    )
+    streamed_cold, _ = _timed_provision(
+        streamed_provider, policies, raw, streaming=True,
+    )
+
+    # Delta: the updated binary through the SAME warm streamed provider —
+    # its delta index re-inspects only the changed function.
+    delta_seconds, delta_result = _timed_provision(
+        streamed_provider, policies, v2, streaming=True,
+    )
+    scan_adopted = delta_result.outcome.disassembly.scan is not None
+
+    return {
+        "workload": WORKLOAD,
+        "binary_bytes": len(raw),
+        "cold": {
+            "phased_seconds": round(phased_cold, 3),
+            "streamed_seconds": round(streamed_cold, 3),
+            "speedup": round(phased_cold / streamed_cold, 2),
+        },
+        "delta": {
+            "v2_seconds": round(delta_seconds, 3),
+            "speedup_vs_cold_streamed": round(
+                streamed_cold / delta_seconds, 2
+            ),
+            "speedup_vs_cold_phased": round(phased_cold / delta_seconds, 2),
+            "scan_adopted": scan_adopted,
+        },
+    }
+
+
+# ------------------------------------------------------------ differential
+
+def _record_pair(policies, raw: bytes, v2: bytes, *, streaming: bool):
+    """v1 then v2 through one provider, every socket frame recorded."""
+    frames: list[tuple[str, bytes]] = []
+    original_send = sock_module.SimSocket.send
+
+    def recording_send(self, message):
+        frames.append((self.name, bytes(message)))
+        return original_send(self, message)
+
+    keypair = generate_keypair(1024, HmacDrbg(b"bench-streaming-diff"))
+    provider = _make_provider(policies, streaming=streaming, keypair=keypair)
+    results = []
+    sock_module.SimSocket.send = recording_send
+    try:
+        for content in (raw, v2):
+            client = EnclaveClient(
+                content, policies=policies, benchmark=WORKLOAD,
+                streaming=streaming,
+            )
+            results.append(provision(provider, client))
+    finally:
+        sock_module.SimSocket.send = original_send
+    return frames, results, provider.machine.meter
+
+
+def run_differential(policies, raw: bytes, v2: bytes) -> dict:
+    cases = 0
+    failures: list[str] = []
+
+    phased_frames, phased_results, phased_meter = _record_pair(
+        policies, raw, v2, streaming=False,
+    )
+    streamed_frames, streamed_results, streamed_meter = _record_pair(
+        policies, raw, v2, streaming=True,
+    )
+
+    cases += 1
+    if streamed_frames != phased_frames:
+        failures.append(
+            f"wire transcript differs ({len(streamed_frames)} vs "
+            f"{len(phased_frames)} frames across the v1+v2 runs)"
+        )
+    for version, (s, p) in enumerate(
+        zip(streamed_results, phased_results), start=1
+    ):
+        cases += 1
+        if s.report.serialize() != p.report.serialize():
+            failures.append(f"v{version} verdict wire bytes differ")
+        cases += 1
+        if s.client_verdict != p.client_verdict:
+            failures.append(f"v{version} client-side verdict differs")
+    cases += 1
+    if streamed_meter.total_cycles != phased_meter.total_cycles:
+        failures.append(
+            "cumulative meter totals differ: "
+            f"{streamed_meter.total_cycles} streamed vs "
+            f"{phased_meter.total_cycles} phased"
+        )
+
+    return {"cases": cases, "divergences": len(failures), "failures": failures}
+
+
+# ------------------------------------------------------------------ driver
+
+def run_benchmark(*, quick: bool) -> dict:
+    scale = SCALE_QUICK if quick else SCALE_FULL
+
+    libc = build_libc()
+    policies = _build_policies(libc)
+    binary = build_workload(
+        WORKLOAD, stack_protector=True, ifcc=True, libc=libc, scale=scale,
+    )
+    raw = binary.elf
+    v2 = make_updated_binary(raw, libc)
+
+    return {
+        "schema": "bench_streaming/1",
+        "quick": quick,
+        "scale": scale,
+        "recv_primitive": bench_recv_primitive(quick=quick),
+        "end_to_end": bench_end_to_end(policies, raw, v2),
+        "differential": run_differential(policies, raw, v2),
+    }
+
+
+def render_table(result: dict) -> str:
+    recv = result["recv_primitive"]
+    e2e = result["end_to_end"]
+    cold, delta = e2e["cold"], e2e["delta"]
+    diff = result["differential"]
+    return "\n".join([
+        f"record MAC ({recv['records']}x{recv['record_bytes']}B): "
+        f"{recv['midstate_mib_s']} MiB/s midstate vs "
+        f"{recv['per_record_mib_s']} MiB/s per-record ({recv['speedup']}x)",
+        f"cold ({e2e['workload']}, {e2e['binary_bytes']} bytes): "
+        f"{cold['streamed_seconds']}s streamed vs "
+        f"{cold['phased_seconds']}s phased ({cold['speedup']}x)",
+        f"delta (one function changed): {delta['v2_seconds']}s — "
+        f"{delta['speedup_vs_cold_streamed']}x vs cold streamed, "
+        f"{delta['speedup_vs_cold_phased']}x vs cold phased "
+        f"(scan adopted: {delta['scan_adopted']})",
+        f"differential check: {diff['cases']} cases, "
+        f"{diff['divergences']} divergence(s)",
+    ])
+
+
+def _check_bars(result: dict) -> list[str]:
+    """Gate failures (empty when the run passes)."""
+    problems: list[str] = []
+    diff = result["differential"]
+    if diff["divergences"]:
+        problems.extend(f"DIVERGENCE: {f}" for f in diff["failures"])
+    e2e = result["end_to_end"]
+    if not e2e["delta"]["scan_adopted"]:
+        problems.append("delta run fell back to the phased decode")
+    if not result["quick"]:
+        if e2e["cold"]["speedup"] < COLD_BAR:
+            problems.append(
+                f"cold streamed speedup {e2e['cold']['speedup']}x below "
+                f"the {COLD_BAR}x bar"
+            )
+        if e2e["delta"]["speedup_vs_cold_streamed"] < DELTA_BAR:
+            problems.append(
+                f"delta speedup {e2e['delta']['speedup_vs_cold_streamed']}x "
+                f"below the {DELTA_BAR}x bar"
+            )
+    return problems
+
+
+# ------------------------------------------------------------------ pytest
+
+def test_streaming_provisioning():
+    try:
+        from conftest import record_table
+    except ImportError:  # script-style invocation
+        record_table = print
+    result = run_benchmark(quick=QUICK)
+    Path(DEFAULT_OUTPUT).write_text(json.dumps(result, indent=1) + "\n")
+    record_table(
+        "Streaming provisioning (streamed vs frozen phased oracle):\n"
+        + render_table(result)
+    )
+    problems = _check_bars(result)
+    assert not problems, problems
+
+
+# ------------------------------------------------------------------ script
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", default=QUICK,
+        help="small workload (CI perf-smoke mode; wall-clock bars waived)",
+    )
+    parser.add_argument(
+        "--output", default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON trajectory (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    t0 = time.time()
+    result = run_benchmark(quick=args.quick)
+    Path(args.output).write_text(json.dumps(result, indent=1) + "\n")
+    print(render_table(result))
+    print(f"(wrote {args.output}; {time.time() - t0:.0f}s wall)")
+
+    problems = _check_bars(result)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

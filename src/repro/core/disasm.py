@@ -31,9 +31,10 @@ from ..errors import DecodeError, ElfError, RejectionError, ValidationError
 from ..faults import hooks as _faults
 from ..sgx.cpu import CycleMeter
 from ..sgx.params import PAGE_SIZE
-from ..x86 import Instruction, iter_decode, validate
+from ..x86 import Instruction, iter_decode, validate, validate_fast
 from ..x86.refdecode import ref_decode_one
 from .policy import PolicyContext, SymbolHashTable
+from .streaming import StreamScan
 
 __all__ = ["DisassemblyResult", "Disassembler", "INSN_RECORD_BYTES"]
 
@@ -52,8 +53,26 @@ class DisassemblyResult:
     text_vaddr: int
     #: pages of instruction-buffer memory requested from the host
     buffer_pages_allocated: int
+    #: streamed prescan artifacts when the scan was verified and used
+    scan: StreamScan | None = None
 
     def policy_context(self, meter: CycleMeter, *, cached: bool = True) -> PolicyContext:
+        scan = self.scan
+        if scan is not None and cached:
+            # Seed the context with the prescan's byproducts: the offset
+            # index and call-site views were already collected while the
+            # content streamed in, so the policy stage starts warm.
+            ctx = PolicyContext(
+                instructions=self.instructions,
+                symtab=self.symtab,
+                image=self.image,
+                meter=meter,
+                index_by_offset=scan.by_offset,
+                cached=cached,
+            )
+            ctx._call_sites = (scan.direct_calls, scan.indirect_idx)
+            ctx.delta = scan.delta
+            return ctx
         return PolicyContext(
             instructions=self.instructions,
             symtab=self.symtab,
@@ -154,9 +173,28 @@ class Disassembler:
         else:
             instructions, buffer_pages = self._decode_reference(text.data)
 
-        # -- NaCl structural constraints ---------------------------------
+        symtab, roots = self._build_symtab(image, text, instructions)
+
+        entry_offset = image.entry - text.vaddr
+        try:
+            validate(instructions, entry=entry_offset, roots=roots)
+        except ValidationError as exc:
+            raise RejectionError(
+                f"NaCl constraint violated: {exc}", stage="disasm"
+            ) from exc
+
+        return DisassemblyResult(
+            image=image,
+            instructions=instructions,
+            symtab=symtab,
+            text_vaddr=text.vaddr,
+            buffer_pages_allocated=buffer_pages,
+        )
+
+    def _build_symtab(self, image: ElfImage, text, instructions):
+        """Symbol hash table + reachability roots (shared by both paths)."""
         code = text.data
-        symtab = SymbolHashTable(meter)
+        symtab = SymbolHashTable(self.meter)
         roots = []
         if image.function_symbols():
             for sym in image.function_symbols():
@@ -178,10 +216,51 @@ class Disassembler:
             for offset, name in recognized.synthetic_names().items():
                 symtab.insert(offset, name)
                 roots.append(offset)
+        return symtab, roots
+
+    def _disassemble_from_scan(
+        self, image: ElfImage, scan: StreamScan
+    ) -> DisassemblyResult:
+        """Adopt a verified streamed scan instead of re-decoding.
+
+        The decode already happened while the content streamed in, so this
+        replays its *observable* effects exactly: the same buffer-growth
+        trampoline sequence (all one-page requests, in order), the same
+        batched decode charges, and the fast validator over the prescan
+        artifacts — whose check order and error strings match the
+        reference validator byte for byte.
+        """
+        meter = self.meter
+        text = image.text_sections[0]
+        instructions = scan.instructions
+        n = len(instructions)
+        if self.per_insn_malloc:
+            buffer_pages = n
+            for _ in range(n):
+                self._alloc_pages(1)
+        else:
+            buffer_pages = -(-n * INSN_RECORD_BYTES // PAGE_SIZE)
+            for _ in range(buffer_pages):
+                self._alloc_pages(1)
+        meter.charge_batch({
+            "decode_byte": scan.n_bytes,
+            "decode_insn": n,
+            "buffer_store": n,
+        })
+
+        symtab, roots = self._build_symtab(image, text, instructions)
 
         entry_offset = image.entry - text.vaddr
         try:
-            validate(instructions, entry=entry_offset, roots=roots)
+            validate_fast(
+                instructions,
+                entry=entry_offset,
+                roots=roots,
+                by_offset=scan.by_offset,
+                bundle_violation=scan.bundle_violation,
+                branch_idx=scan.branch_idx,
+                term_idx=scan.term_idx,
+            )
         except ValidationError as exc:
             raise RejectionError(
                 f"NaCl constraint violated: {exc}", stage="disasm"
@@ -193,6 +272,7 @@ class Disassembler:
             symtab=symtab,
             text_vaddr=text.vaddr,
             buffer_pages_allocated=buffer_pages,
+            scan=scan,
         )
 
     # ------------------------------------------------------- decode loops
@@ -286,4 +366,28 @@ class Disassembler:
         """Full stage: parse, page-split check, disassemble, validate."""
         image = self.parse_elf(raw)
         self.check_page_separation(image)
+        return self.disassemble(image)
+
+    def run_streamed(self, raw: bytes, scan: StreamScan | None) -> DisassemblyResult:
+        """:meth:`run` reusing a speculative streamed *scan* when safe.
+
+        The scan was produced against bytes decrypted straight off the
+        channel, before the exact ELF parse; it is only adopted when the
+        parsed image has exactly one text section whose bytes equal what
+        the scan decoded and the scan completed without error.  Everything
+        else — decode errors (their message and charge sequence must be
+        bit-exact), multi-section images, header/extent mismatches, fault
+        plans watching the decoder — falls back to the phased stage.
+        """
+        image = self.parse_elf(raw)
+        self.check_page_separation(image)
+        if (
+            scan is not None
+            and scan.error is None
+            and self.optimized
+            and not _faults.wants("x86.decoder")
+            and len(image.text_sections) == 1
+            and image.text_sections[0].data == scan.code
+        ):
+            return self._disassemble_from_scan(image, scan)
         return self.disassemble(image)

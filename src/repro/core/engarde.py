@@ -90,16 +90,25 @@ class EnGarde:
 
     # ------------------------------------------------------------------
 
-    def inspect(self, raw_elf: bytes, *, benchmark: str = "client") -> InspectionOutcome:
+    def inspect(
+        self, raw_elf: bytes, *, benchmark: str = "client", scan=None
+    ) -> InspectionOutcome:
         """Disassemble and policy-check only (no enclave required).
 
         This is the static-inspection core; :meth:`inspect_and_load` adds
-        the loading stage against a real enclave.
+        the loading stage against a real enclave.  *scan* is an optional
+        speculative :class:`~repro.core.streaming.StreamScan` collected
+        while the content was still arriving; the disassembler verifies it
+        against the exact parse and falls back to the phased stage on any
+        mismatch, so verdicts and meter totals are identical either way.
         """
         policy_names = self.policies.names()
         try:
             with self.meter.phase("disassembly"):
-                disasm = self.disassembler.run(raw_elf)
+                if scan is not None:
+                    disasm = self.disassembler.run_streamed(raw_elf, scan)
+                else:
+                    disasm = self.disassembler.run(raw_elf)
         except RejectionError as exc:
             return InspectionOutcome(
                 report=ComplianceReport.rejected(
@@ -150,9 +159,10 @@ class EnGarde:
         region_pages: int,
         *,
         benchmark: str = "client",
+        scan=None,
     ) -> InspectionOutcome:
         """Full pipeline: inspect, then load into *enclave* if compliant."""
-        outcome = self.inspect(raw_elf, benchmark=benchmark)
+        outcome = self.inspect(raw_elf, benchmark=benchmark, scan=scan)
         if not outcome.accepted or outcome.disassembly is None:
             return outcome
 

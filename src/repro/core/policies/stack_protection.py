@@ -31,6 +31,7 @@ from bisect import bisect_left
 from ...x86 import Instruction, Mem
 from ...x86.registers import Reg
 from ..policy import PolicyContext, PolicyModule, PolicyResult
+from ..streaming import RecordingMeter
 
 __all__ = ["StackProtectionPolicy", "CANARY_FS_OFFSET"]
 
@@ -102,20 +103,75 @@ class StackProtectionPolicy(PolicyModule):
     def check(self, ctx: PolicyContext) -> PolicyResult:
         result = self.result()
         functions_checked = 0
+        memo = getattr(ctx, "delta", None)
+        session = (
+            memo.session(ctx, self.config_digest()) if memo is not None else None
+        )
         for start, name in ctx.function_starts():
             if name in self.exempt_functions:
                 continue
-            first, last = ctx.function_extent(start)
-            body = ctx.instructions[first:last]
-            if not any(_is_stack_store(i) for i in body):
-                continue  # no stack variables: nothing to protect
-            functions_checked += 1
-            if not self._function_protected(ctx, body):
-                result.add_violation(
-                    f"function {name!r} lacks stack-protector instrumentation"
-                )
+            if session is None:
+                inc, violation = self._check_one(ctx, start, name)
+            else:
+                hit = session.lookup(name, start)
+                if hit is not None:
+                    inc, violation, charges = hit
+                    RecordingMeter.replay(ctx.meter, charges)
+                else:
+                    inc, violation = self._check_one_recorded(
+                        ctx, start, name, session
+                    )
+            functions_checked += inc
+            if violation is not None:
+                result.add_violation(violation)
         result.stats["functions_checked"] = functions_checked
         return result
+
+    def _check_one(
+        self, ctx: PolicyContext, start: int, name: str
+    ) -> tuple[int, str | None]:
+        """The per-function check: (checked increment, violation or None)."""
+        first, last = ctx.function_extent(start)
+        body = ctx.instructions[first:last]
+        if not any(_is_stack_store(i) for i in body):
+            return 0, None  # no stack variables: nothing to protect
+        if not self._function_protected(ctx, body):
+            return 1, (
+                f"function {name!r} lacks stack-protector instrumentation"
+            )
+        return 1, None
+
+    def _check_one_recorded(
+        self, ctx: PolicyContext, start: int, name: str, session
+    ) -> tuple[int, str | None]:
+        """Run the check while capturing charges and out-of-extent reads.
+
+        The recorded trace makes the verdict replayable: a later run may
+        skip this function only if its bytes (and everything the tail walk
+        read outside them) are provably unchanged — then the charges are
+        re-issued verbatim, keeping meter totals tick-identical.
+        """
+        real_meter = ctx.meter
+        real_symtab_meter = ctx.symtab._meter
+        recorder = RecordingMeter(real_meter)
+        reads: list[int] = []
+        cls_at = type(ctx).at
+
+        def tracked_at(offset):
+            reads.append(offset)
+            return cls_at(ctx, offset)
+
+        ctx.meter = recorder
+        ctx.symtab._meter = recorder
+        ctx.at = tracked_at
+        try:
+            inc, violation = self._check_one(ctx, start, name)
+        finally:
+            ctx.meter = real_meter
+            ctx.symtab._meter = real_symtab_meter
+            del ctx.at
+        session.record(name, start, inc, violation, recorder.events, reads)
+        return inc, violation
 
     # ------------------------------------------------------------------
 

@@ -118,6 +118,9 @@ class PolicyContext:
         self._call_sites: tuple[list[Instruction], list[int]] | None = None
         self._starts_view: list[tuple[int, str]] | None = None
         self._extents: dict[int, tuple[int, int]] = {}
+        #: per-function verdict memo for delta re-inspection (set by the
+        #: streamed pipeline; policies that support it consult it)
+        self.delta = None
 
     def at(self, offset: int) -> Instruction | None:
         idx = self.index_by_offset.get(offset)

@@ -37,6 +37,7 @@ from ..errors import (
     RejectionError,
     ReproError,
 )
+from ..faults import hooks as _faults
 from ..faults.clock import Clock, SystemClock
 from ..faults.hooks import fault_hook
 from ..net import SocketPair
@@ -54,6 +55,12 @@ from ..sgx.measurement import Measurement
 from .engarde import EnGarde, InspectionOutcome
 from .policy import PolicyRegistry
 from .report import ComplianceReport
+from .streaming import (
+    DeltaIndex,
+    StreamingPipeline,
+    build_delta_index,
+    delta_scan,
+)
 
 __all__ = [
     "CloudProvider", "EnclaveClient", "ProvisioningResult", "provision",
@@ -89,6 +96,7 @@ def expected_mrenclave(
     client_pages: int,
     enclave_pages: int = DEFAULT_ENCLAVE_PAGES,
     use_cache: bool = True,
+    fast: bool = False,
 ) -> bytes:
     """What MRENCLAVE *must* be for the agreed EnGarde build.
 
@@ -99,7 +107,10 @@ def expected_mrenclave(
 
     The result depends only on the policy digest material and the three
     geometry parameters, so it is memoized; ``use_cache=False`` forces
-    the full replay (the benchmark's reference mode uses it).
+    the full replay (the benchmark's reference mode uses it).  ``fast``
+    replays through the hashlib-backed measurement (identical absorb
+    framing, so the digest is byte-identical); the streaming client uses
+    it so its cold verification keeps up with the streamed provider.
     """
     token = (
         policies.digest_material(), heap_pages, client_pages, enclave_pages,
@@ -113,7 +124,7 @@ def expected_mrenclave(
     engarde = EnGarde(policies)
     boot = _bootstrap_pages(engarde)
     size = enclave_pages * PAGE_SIZE
-    m = Measurement()
+    m = Measurement(fast=fast)
     m.ecreate(ENCLAVE_BASE, size, 0)
     for vaddr in sorted(boot):
         m.eadd(vaddr, "REG", "rwx")
@@ -211,10 +222,18 @@ class CloudProvider:
         channel_keypair: RsaPrivateKey | None = None,
         channel_optimized: bool = True,
         verdict_cache=None,
+        streaming: bool = False,
     ) -> None:
         self.policies = policies
         self.params = params or SgxParams()
-        self.machine = SgxMachine(self.params)
+        #: streamed receive path: decrypt in place, overlap decode/prescan
+        #: with the channel drain, and keep a delta index per benchmark so
+        #: updated binaries only re-pay inspection for changed functions.
+        #: Every wire byte, verdict byte, MRENCLAVE, and meter tick is
+        #: identical to the phased path (``streaming=False``), which stays
+        #: frozen as the differential oracle.
+        self.streaming = streaming
+        self.machine = SgxMachine(self.params, fast=streaming)
         self.host = HostOS(self.machine)
         self.rng = rng or HmacDrbg(b"cloud-provider")
         self.quoting_enclave = QuotingEnclave(self.machine, self.rng.fork(b"qe"))
@@ -237,6 +256,11 @@ class CloudProvider:
         #: enclave still runs on every hit — it is a per-enclave side
         #: effect, not a memoizable result.
         self.verdict_cache = verdict_cache
+        #: per-benchmark delta index (chunk map + function-verdict memo)
+        #: used by the streamed path to re-inspect only changed functions
+        #: when the same client re-provisions an updated binary
+        self._delta_index: "OrderedDict[str, DeltaIndex]" = OrderedDict()
+        self._delta_index_cap = 8
 
     def start_session(
         self, sock, *, benchmark: str = "client"
@@ -299,9 +323,15 @@ class CloudProvider:
         """
         fault_hook("core.provisioning.handshake", error=ProtocolError)
         session.channel = session.handshake.complete()
-        raw = self._receive_content(
-            session, resilience=resilience, retransmit=retransmit
-        )
+        if self.streaming:
+            raw, scan = self._receive_content_streamed(
+                session, resilience=resilience, retransmit=retransmit
+            )
+        else:
+            raw = self._receive_content(
+                session, resilience=resilience, retransmit=retransmit
+            )
+            scan = None
         runtime = session.runtime
         cache = self.verdict_cache
         key = None
@@ -324,10 +354,40 @@ class CloudProvider:
             runtime.client_base,
             runtime.client_pages,
             benchmark=session.benchmark,
+            scan=scan,
         )
         if key is not None:
             cache.put(key, session.outcome.report)
+        if scan is not None:
+            self._update_delta_index(session, scan)
         return session.outcome.report
+
+    def _update_delta_index(self, session: ProvisioningSession, scan) -> None:
+        """Refresh the benchmark's delta index from a *verified* scan.
+
+        The index is only rebuilt from instruction tokens the disassembler
+        actually adopted (``disasm.scan is scan`` — the speculative scan
+        survived the exact-parse cross-check); a fallback run or a rejected
+        binary leaves the previous index untouched.
+        """
+        outcome = session.outcome
+        if outcome is None or outcome.disassembly is None:
+            return
+        disasm = outcome.disassembly
+        if disasm.scan is not scan:
+            return
+        index = self._delta_index.get(session.benchmark)
+        if index is None:
+            index = DeltaIndex()
+        text = disasm.image.text_sections[0]
+        build_delta_index(
+            index, text.data, scan,
+            [addr for addr, _name in sorted(disasm.symtab.items())],
+        )
+        self._delta_index[session.benchmark] = index
+        self._delta_index.move_to_end(session.benchmark)
+        while len(self._delta_index) > self._delta_index_cap:
+            self._delta_index.popitem(last=False)
 
     def _replay_cached_verdict(
         self,
@@ -468,6 +528,119 @@ class CloudProvider:
         meter.charge("aes_block", max(len(record) // 16, 1))
         return record
 
+    def _receive_content_streamed(
+        self,
+        session: ProvisioningSession,
+        *,
+        resilience: "ResilienceConfig | None" = None,
+        retransmit=None,
+    ):
+        """Streamed receive: decrypt in place and inspect while draining.
+
+        Records decrypt straight into one preallocated buffer
+        (:meth:`SecureChannel.recv_into` — no per-record copies), and a
+        :class:`StreamingPipeline` speculatively decodes and prescans the
+        text section as its bytes land, so disassembly overlaps the
+        channel drain.  When a previous accepted image for the same
+        benchmark is indexed, decode-during-receive is skipped entirely
+        and the scan is spliced from the old one via the content-defined
+        chunk diff (:func:`delta_scan`).  Either way the scan is
+        *speculative*: the disassembler re-verifies it against the exact
+        parse and falls back to the phased stage on any mismatch, so the
+        verdict, wire bytes, and meter totals never depend on it.
+
+        Returns ``(raw_bytes, scan_or_None)``.
+        """
+        runtime = session.runtime
+        channel = session.channel
+        assert channel is not None
+        meter = self.machine.meter
+
+        fd = 3  # the socket registered in start_session
+        header = self._recv_record(
+            runtime, channel, fd, meter,
+            resilience=resilience, retransmit=retransmit,
+        )
+        if len(header) != _CONTENT_HEADER.size:
+            raise ProtocolError("bad content header")
+        total, records = _CONTENT_HEADER.unpack(header)
+        if total > runtime.client_pages * PAGE_SIZE * 4:
+            raise ProtocolError("announced content size exceeds any sane image")
+        buf = bytearray(total)
+        prev = self._delta_index.get(session.benchmark)
+        if prev is not None and not prev.populated:
+            prev = None
+        # Seeded decoder faults must hit the real decode stage, not the
+        # speculative one, so the pipeline stands down and the phased
+        # disassembler (with its fault hooks) runs afterwards.
+        want_decode = not _faults.wants("x86.decoder")
+        pipeline = StreamingPipeline(buf, decode=want_decode and prev is None)
+        received = 0
+        for _ in range(records):
+            n = self._recv_record_into(
+                runtime, channel, fd, meter, buf, received,
+                resilience=resilience, retransmit=retransmit,
+            )
+            received += n
+            pipeline.advance(received)
+        if received != total:
+            raise ProtocolError(
+                f"content truncated: announced {total}, received {received}"
+            )
+        raw = bytes(buf)
+        scan = None
+        if want_decode:
+            if prev is not None:
+                text = pipeline.text_slice()
+                if text is not None:
+                    scan = delta_scan(prev, text)
+            else:
+                scan = pipeline.finish()
+        if scan is not None:
+            index = self._delta_index.get(session.benchmark)
+            if index is None:
+                index = DeltaIndex()
+                self._delta_index[session.benchmark] = index
+            scan.delta = index.memo
+        return raw, scan
+
+    def _recv_record_into(
+        self,
+        runtime: EnclaveRuntime,
+        channel: SecureChannel,
+        fd: int,
+        meter: CycleMeter,
+        out: bytearray,
+        offset: int,
+        *,
+        resilience: "ResilienceConfig | None" = None,
+        retransmit=None,
+    ) -> int:
+        # Mirror of _recv_record (same trampoline, charges, and ARQ) that
+        # decrypts directly into the shared receive buffer.
+        attempt = 0
+        while True:
+            try:
+                fault_hook("core.provisioning.record", error=ProtocolError)
+                n = channel.recv_into(out, offset)
+                break
+            except (CryptoError, NetError, ProtocolError):
+                if (
+                    resilience is None
+                    or retransmit is None
+                    or attempt >= resilience.max_retransmits
+                ):
+                    raise
+                resilience.clock.sleep(
+                    resilience.backoff_base * (2 ** attempt)
+                )
+                attempt += 1
+                channel.drain_pending()
+                retransmit(channel.expected_recv_seq)
+        self.host.trampoline(runtime)
+        meter.charge("aes_block", max(n // 16, 1))
+        return n
+
 
 class EnclaveClient:
     """The client: binary owner, attestation verifier, content sender."""
@@ -480,6 +653,7 @@ class EnclaveClient:
         rng: HmacDrbg | None = None,
         benchmark: str = "client",
         optimized: bool = True,
+        streaming: bool = False,
     ) -> None:
         self.binary = binary
         self.policies = policies
@@ -488,6 +662,11 @@ class EnclaveClient:
         #: ``False`` runs the frozen reference crypto end to end on the
         #: client side (channel records + full MRENCLAVE replay)
         self.optimized = optimized
+        #: streamed send: emit each record as soon as it is encrypted
+        #: instead of buffering the whole keystream pass up front, and
+        #: replay MRENCLAVE through the hashlib-backed measurement.
+        #: Record boundaries and wire bytes are identical either way.
+        self.streaming = streaming
         self.channel: SecureChannel | None = None
         self.verdict: ComplianceReport | None = None
 
@@ -511,6 +690,7 @@ class EnclaveClient:
             client_pages=client_pages,
             enclave_pages=enclave_pages,
             use_cache=self.optimized,
+            fast=self.streaming,
         )
         verify_quote(
             quote, device_key,
@@ -538,6 +718,16 @@ class EnclaveClient:
             for i in range(0, len(self.binary), PAGE_SIZE)
         ]
         self.channel.send(_CONTENT_HEADER.pack(len(self.binary), len(records)))
+        if self.streaming:
+            # Emit each record the moment it is encrypted: the provider's
+            # pipeline starts decoding while later records are still being
+            # sealed.  Per-record keystream warming reuses the same memo
+            # ranges the batched pass would, so the ciphertext — and hence
+            # the pinned wire transcript — is byte-identical.
+            for record in records:
+                self.channel.warm_send_keystream([len(record)])
+                self.channel.send(record)
+            return
         # One batched keystream pass covers the whole stream (a no-op on
         # reference-mode channels).
         self.channel.warm_send_keystream([len(r) for r in records])

@@ -534,6 +534,41 @@ def ctr_xor(
     return value.to_bytes(nbytes, "big")
 
 
+def ctr_xor_into(
+    cipher: Aes,
+    nonce: bytes,
+    data,
+    out: bytearray,
+    out_offset: int,
+    initial_counter: int = 0,
+) -> int:
+    """:func:`ctr_xor` writing the result into *out* at *out_offset*.
+
+    The streamed receive path decrypts each record straight into the
+    preallocated content buffer, skipping both the intermediate plaintext
+    ``bytes`` object and the final join copy.  Keystream sourcing (memo,
+    segmenting, counters) is shared with :func:`ctr_xor`, so the decrypted
+    bytes are identical.  Returns the number of bytes written.
+    """
+    if len(nonce) != 8:
+        raise CryptoError("CTR nonce must be 8 bytes")
+    nbytes = len(data)
+    if nbytes == 0:
+        return 0
+    nblocks = (nbytes + BLOCK - 1) // BLOCK
+    if nblocks >= _MEMO_MIN_BLOCKS:
+        stream = _memo_get(cipher._key_bytes, nonce, initial_counter, nblocks)
+        if stream is None:
+            stream = cipher.ctr_keystream(nonce, initial_counter, nblocks)
+            _memo_put(cipher._key_bytes, nonce, initial_counter, nblocks, stream)
+    else:
+        stream = cipher.ctr_keystream(nonce, initial_counter, nblocks)
+    mask = int.from_bytes(memoryview(stream)[:nbytes], "big")
+    value = int.from_bytes(data, "big") ^ mask
+    out[out_offset:out_offset + nbytes] = value.to_bytes(nbytes, "big")
+    return nbytes
+
+
 def aes_ctr(key: bytes, nonce: bytes, data: bytes, initial_counter: int = 0) -> bytes:
     """CTR-mode keystream XOR (encryption and decryption are identical).
 

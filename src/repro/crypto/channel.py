@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from ..errors import CryptoError, ProtocolError
 from ..faults.hooks import DROP, fault_hook
 from ..net import SimSocket
-from .aes import _MEMO_MIN_BLOCKS, Aes, ctr_xor
+from .aes import _MEMO_MIN_BLOCKS, Aes, ctr_xor, ctr_xor_into
 from .mac import HmacDrbg, HmacKey, constant_time_eq, hmac_sha256
 from .ref import ref_aes_ctr, ref_channel_hmac
 from .rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
@@ -212,6 +212,49 @@ class SecureChannel:
         self._recv_seq += 1
         return ctr_xor(
             self._recv_aes, self._recv_nonce, ciphertext,
+            initial_counter=seq * self._CTR_WINDOW,
+        )
+
+    def recv_into(self, out: bytearray, offset: int) -> int:
+        """:meth:`recv` decrypting straight into *out* at *offset*.
+
+        The streamed provisioning loop preallocates one buffer for the
+        announced content size and lands every record's plaintext in place:
+        the session-lifetime HMAC midstates verify the record from
+        memoryviews (no header/ciphertext copies) and the CTR XOR writes
+        into the buffer, so the per-record path does zero redundant
+        copies.  Wire handling (sequence, MAC, length checks, fault hook)
+        is byte-for-byte the same as :meth:`recv`; reference-mode channels
+        fall back to :meth:`recv` plus one slice-assign.  Returns the
+        payload length.
+        """
+        record = fault_hook("crypto.channel.recv", self._sock.recv(),
+                            error=CryptoError)
+        if record is DROP:
+            raise CryptoError(
+                "[fault:crypto.channel.recv:drop] record lost before receipt"
+            )
+        if len(record) < _HDR.size + TAG_SIZE:
+            raise CryptoError("record too short")
+        if not self.optimized:
+            payload = self._recv_reference(bytes(record))
+            out[offset:offset + len(payload)] = payload
+            return len(payload)
+        view = memoryview(record)
+        header = view[:_HDR.size]
+        ciphertext = view[_HDR.size:-TAG_SIZE]
+        tag = view[-TAG_SIZE:]
+        seq, length = _HDR.unpack(header)
+        if seq != self._recv_seq:
+            raise CryptoError(f"bad sequence number: expected {self._recv_seq}, got {seq}")
+        expected = self._recv_hmac.mac(header, ciphertext)
+        if not constant_time_eq(tag, expected):
+            raise CryptoError("record MAC verification failed")
+        if length != len(ciphertext):
+            raise CryptoError("record length mismatch")
+        self._recv_seq += 1
+        return ctr_xor_into(
+            self._recv_aes, self._recv_nonce, ciphertext, out, offset,
             initial_counter=seq * self._CTR_WINDOW,
         )
 

@@ -272,6 +272,32 @@ class InspectionClient:
         channel-integrity failures trigger a full reconnect (fresh
         attestation) before the retry.
         """
+        return self._submit_with_retries(
+            label, lambda: self._submit_whole(label, raw_elf)
+        )
+
+    def inspect_streamed(
+        self, raw_elf: bytes, label: str = "client", *,
+        chunk_size: int = 0x40000,
+    ) -> ClientVerdict:
+        """Submit one binary as a ``SUBMIT_BEGIN``/``SUBMIT_CHUNK`` stream.
+
+        Large content travels as *chunk_size*-byte channel records, each
+        acked before the next is sent, instead of one monolithic frame —
+        so memory on both sides stays bounded by the chunk size plus one
+        reassembly buffer and a mid-transfer fault costs one chunk, not
+        the whole upload.  The daemon reassembles, checks the up-front
+        sha256 commitment, and runs the *same* inspection path as
+        :meth:`inspect`: the verdict bytes are identical, and the
+        retry/fail-closed semantics are shared.
+        """
+        if chunk_size < 1:
+            raise ProtocolError(f"chunk_size must be positive, got {chunk_size}")
+        return self._submit_with_retries(
+            label, lambda: self._submit_streamed(label, raw_elf, chunk_size)
+        )
+
+    def _submit_with_retries(self, label: str, submit) -> ClientVerdict:
         budget = (
             self.resilience.max_retransmits + 1 if self.resilience else 1
         )
@@ -284,11 +310,7 @@ class InspectionClient:
                 )
             try:
                 self.open()
-                _, body = self._roundtrip_secured(
-                    proto.T_SUBMIT, proto.encode_submit(label, raw_elf),
-                    expect=proto.T_VERDICT,
-                )
-                source, wire = proto.decode_verdict(body)
+                source, wire = submit()
                 report = ComplianceReport.deserialize(wire)
                 return ClientVerdict(
                     label=label, report=report, source=source,
@@ -310,6 +332,46 @@ class InspectionClient:
                 last_error = f"{type(exc).__name__}: {exc}"
                 self._abandon()
         return ClientVerdict(label=label, error=last_error, attempts=budget)
+
+    def _submit_whole(self, label: str, raw_elf: bytes) -> tuple[str, bytes]:
+        _, body = self._roundtrip_secured(
+            proto.T_SUBMIT, proto.encode_submit(label, raw_elf),
+            expect=proto.T_VERDICT,
+        )
+        return proto.decode_verdict(body)
+
+    def _submit_streamed(
+        self, label: str, raw_elf: bytes, chunk_size: int
+    ) -> tuple[str, bytes]:
+        import hashlib
+
+        chunks = [
+            raw_elf[off:off + chunk_size]
+            for off in range(0, len(raw_elf), chunk_size)
+        ] or [b""]
+        digest = hashlib.sha256(raw_elf).digest()
+        _, ack = self._roundtrip_secured(
+            proto.T_SUBMIT_BEGIN,
+            proto.encode_submit_begin(label, len(raw_elf), len(chunks), digest),
+            expect=proto.T_SUBMIT_OK,
+        )
+        proto.decode_chunk_ack(ack)
+        sent = 0
+        for chunk in chunks[:-1]:
+            sent += len(chunk)
+            _, ack = self._roundtrip_secured(
+                proto.T_SUBMIT_CHUNK, chunk, expect=proto.T_CHUNK_OK,
+            )
+            held = proto.decode_chunk_ack(ack)
+            if held != sent:
+                raise ProtocolError(
+                    f"chunk ack mismatch: sent {sent} content bytes, "
+                    f"daemon holds {held}"
+                )
+        _, body = self._roundtrip_secured(
+            proto.T_SUBMIT_CHUNK, chunks[-1], expect=proto.T_VERDICT,
+        )
+        return proto.decode_verdict(body)
 
     def status(self) -> dict:
         """``STATUS`` probe (over the channel when open, plaintext else)."""

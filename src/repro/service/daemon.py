@@ -79,6 +79,26 @@ _COUNTERS = tuple(
 
 
 @dataclass
+class _PendingSubmit:
+    """One in-flight streamed submission (``SUBMIT_BEGIN`` .. last chunk).
+
+    Content accumulates into a preallocated buffer and is hashed
+    incrementally as chunks land, so the commitment check after the
+    final chunk costs nothing extra and any corruption fails closed
+    before inspection runs.
+    """
+
+    label: str
+    total: int
+    chunks: int
+    digest: bytes
+    buf: bytearray = field(default_factory=bytearray, repr=False)
+    hasher: object = field(default_factory=hashlib.sha256, repr=False)
+    received: int = 0
+    seen: int = 0
+
+
+@dataclass
 class _Connection:
     """Daemon-side bookkeeping for one live client connection."""
 
@@ -90,6 +110,8 @@ class _Connection:
     state: str = "plain"  # plain -> secured -> closed
     entry: PooledEnclave | None = None
     channel: SecureChannel | None = field(default=None, repr=False)
+    #: streamed submission being reassembled, if any
+    pending: _PendingSubmit | None = field(default=None, repr=False)
 
 
 class InspectionDaemon:
@@ -354,9 +376,10 @@ class InspectionDaemon:
             elif mtype == proto.T_ATTEST:
                 self._attest_and_secure(conn, body, t0)
                 return
-            elif mtype == proto.T_SUBMIT:
+            elif mtype in (proto.T_SUBMIT, proto.T_SUBMIT_BEGIN,
+                           proto.T_SUBMIT_CHUNK):
                 raise ProtocolError(
-                    "out-of-order SUBMIT: the attested secure channel must "
+                    f"out-of-order {verb}: the attested secure channel must "
                     "be established first (ATTEST, then key exchange)"
                 )
             else:
@@ -417,23 +440,65 @@ class InspectionDaemon:
         verb = proto.MESSAGE_TYPES[mtype]
         self.metrics.inc(f"requests.{verb}")
         if mtype == proto.T_SUBMIT:
-            conn.busy = True
-            try:
-                label, raw = proto.decode_submit(body)
-                item = self._inspect(label, raw)
-                if item.report is None:
-                    self.metrics.inc("errors.inspection")
-                    channel.send(proto.encode_error(
-                        "inspection", item.error or
-                        "ServiceError: inspection produced no verdict",
-                    ))
-                else:
-                    channel.send(proto.encode_message(
-                        proto.T_VERDICT, proto.encode_verdict(item)
-                    ))
+            if conn.pending is not None:
+                raise ProtocolError(
+                    "whole-body SUBMIT inside a streamed submission — "
+                    "finish or abandon the SUBMIT_BEGIN stream first"
+                )
+            label, raw = proto.decode_submit(body)
+            self._answer_submit(conn, channel, label, raw)
+        elif mtype == proto.T_SUBMIT_BEGIN:
+            if conn.pending is not None:
+                raise ProtocolError(
+                    "out-of-order SUBMIT_BEGIN: a streamed submission is "
+                    "already in flight on this connection"
+                )
+            label, total, chunks, digest = proto.decode_submit_begin(body)
+            conn.pending = _PendingSubmit(
+                label=label, total=total, chunks=chunks, digest=digest,
+                buf=bytearray(),
+            )
+            channel.send(proto.encode_message(
+                proto.T_SUBMIT_OK, proto.encode_chunk_ack(0)
+            ))
+            self.metrics.inc("responses.sent")
+        elif mtype == proto.T_SUBMIT_CHUNK:
+            pending = conn.pending
+            if pending is None:
+                raise ProtocolError(
+                    "out-of-order SUBMIT_CHUNK: no SUBMIT_BEGIN announced "
+                    "a streamed submission on this connection"
+                )
+            pending.seen += 1
+            pending.received += len(body)
+            if pending.received > pending.total:
+                conn.pending = None
+                raise ProtocolError(
+                    f"streamed submit overrun: announced {pending.total} "
+                    f"bytes, received {pending.received}"
+                )
+            pending.buf += body
+            pending.hasher.update(body)
+            if pending.seen < pending.chunks:
+                channel.send(proto.encode_message(
+                    proto.T_CHUNK_OK, proto.encode_chunk_ack(pending.received)
+                ))
                 self.metrics.inc("responses.sent")
-            finally:
-                conn.busy = False
+            else:
+                conn.pending = None
+                if pending.received != pending.total:
+                    raise ProtocolError(
+                        f"streamed submit truncated: announced "
+                        f"{pending.total} bytes, received {pending.received}"
+                    )
+                if pending.hasher.digest() != pending.digest:
+                    raise ProtocolError(
+                        "streamed submit digest mismatch: reassembled "
+                        "content does not match the SUBMIT_BEGIN commitment"
+                    )
+                self._answer_submit(
+                    conn, channel, pending.label, bytes(pending.buf)
+                )
         elif mtype == proto.T_STATUS:
             channel.send(proto.encode_message(
                 proto.T_STATUS_OK, json.dumps(self.status()).encode()
@@ -464,6 +529,28 @@ class InspectionDaemon:
     def _reply(self, sock, mtype: int, body: bytes = b"") -> None:
         sock.send(proto.encode_message(mtype, body))
         self.metrics.inc("responses.sent")
+
+    def _answer_submit(self, conn: _Connection, channel: SecureChannel,
+                       label: str, raw: bytes) -> None:
+        """Run one inspection and answer VERDICT/ERROR over *channel* —
+        shared by whole-body SUBMIT and the final streamed chunk, so the
+        verdict bytes are identical either way."""
+        conn.busy = True
+        try:
+            item = self._inspect(label, raw)
+            if item.report is None:
+                self.metrics.inc("errors.inspection")
+                channel.send(proto.encode_error(
+                    "inspection", item.error or
+                    "ServiceError: inspection produced no verdict",
+                ))
+            else:
+                channel.send(proto.encode_message(
+                    proto.T_VERDICT, proto.encode_verdict(item)
+                ))
+            self.metrics.inc("responses.sent")
+        finally:
+            conn.busy = False
 
     # ----------------------------------------------------------- inspection
 

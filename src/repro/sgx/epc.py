@@ -57,12 +57,17 @@ class EpcPage:
 class Epc:
     """The EPC pool: allocation, hardware crypto, and EPCM bookkeeping."""
 
-    def __init__(self, n_pages: int, hardware_key: bytes) -> None:
+    def __init__(
+        self, n_pages: int, hardware_key: bytes, *, lazy_zero: bool = False
+    ) -> None:
         if n_pages <= 0:
             raise ValueError("EPC must have at least one page")
         self._pages = [EpcPage(i) for i in range(n_pages)]
         self._free = list(range(n_pages - 1, -1, -1))
         self._hw_key = hardware_key
+        #: defer encrypting freshly-allocated zero pages until first read;
+        #: the materialised ciphertext/MAC are the same bytes either way.
+        self._lazy_zero = lazy_zero
         # Prepared HMAC midstates for the integrity key: the MEE tags and
         # checks a page on every store/enclave read, so the per-call key
         # preparation is hoisted to construction (same tag bytes).
@@ -99,7 +104,11 @@ class Epc:
         page.owner_eid = eid
         page.vaddr = vaddr
         page.perms = PagePermissions()
-        self._store(page, b"\x00" * PAGE_SIZE)
+        if self._lazy_zero:
+            page._ciphertext = None  # type: ignore[assignment]
+            page._tag = b""
+        else:
+            self._store(page, b"\x00" * PAGE_SIZE)
         return page
 
     def release(self, page: EpcPage) -> None:
@@ -108,7 +117,11 @@ class Epc:
             raise SgxError(f"double free of EPC page {page.index}")
         page.owner_eid = None
         page.vaddr = None
-        self._store(page, b"\x00" * PAGE_SIZE)
+        if self._lazy_zero:
+            page._ciphertext = None  # type: ignore[assignment]
+            page._tag = b""
+        else:
+            self._store(page, b"\x00" * PAGE_SIZE)
         self._free.append(page.index)
 
     def page(self, index: int) -> EpcPage:
@@ -137,6 +150,16 @@ class Epc:
         self._keystream_cache[page.index] = stream
         return stream
 
+    def _materialize(self, page: EpcPage) -> None:
+        """Encrypt the deferred all-zero content of a lazily-allocated page."""
+        if page._ciphertext is None:
+            cached = self._zero_ct_cache.get(page.index)
+            if cached is None:
+                ct = self._keystream(page)  # zeros XOR keystream
+                cached = (ct, self._integrity.mac(ct))
+                self._zero_ct_cache[page.index] = cached
+            page._ciphertext, page._tag = cached
+
     def _store(self, page: EpcPage, plaintext: bytes) -> None:
         if plaintext == b"\x00" * PAGE_SIZE:
             cached = self._zero_ct_cache.get(page.index)
@@ -158,6 +181,7 @@ class Epc:
                 f"enclave {eid} accessed EPC page {page.index} "
                 f"owned by {page.owner_eid}"
             )
+        self._materialize(page)
         expected = self._integrity.mac(page._ciphertext)
         if expected != page._tag:
             raise SgxError(
@@ -180,12 +204,14 @@ class Epc:
 
     def read_ciphertext(self, page: EpcPage) -> bytes:
         """What an adversary outside the enclave observes."""
+        self._materialize(page)
         return page._ciphertext
 
     def tamper(self, page: EpcPage, data: bytes) -> None:
         """Adversary primitive for tests: overwrite ciphertext directly."""
         if len(data) != PAGE_SIZE:
             raise SgxError("EPC writes are page-granular")
+        self._materialize(page)  # the zero tag must exist for detection
         page._ciphertext = data  # deliberately skips the tag update
 
 

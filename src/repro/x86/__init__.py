@@ -7,7 +7,7 @@ policies to inspect — nothing in the pipeline operates on mocked bytes.
 """
 
 from .asm import BUNDLE_SIZE, Assembler, ExternalFixup, Label
-from .decoder import decode_all, decode_one, iter_decode
+from .decoder import StreamDecoder, decode_all, decode_one, iter_decode
 from .encoder import Enc
 from .insn import Imm, Instruction, Mem, Operand
 from .registers import (
@@ -17,17 +17,25 @@ from .registers import (
     RAX, RBP, RBX, RCX, RDI, RDX, RSI, RSP,
     GPR32, GPR64, Reg, reg_by_name, reg_name,
 )
-from .validator import check_bundles, check_reachability, check_targets, validate
+from .validator import (
+    check_bundles,
+    check_reachability,
+    check_reachability_fast,
+    check_targets,
+    validate,
+    validate_fast,
+)
 
 __all__ = [
     "Assembler", "Label", "ExternalFixup", "BUNDLE_SIZE",
     "Enc",
-    "decode_one", "decode_all", "iter_decode",
+    "decode_one", "decode_all", "iter_decode", "StreamDecoder",
     "Instruction", "Mem", "Imm", "Operand",
     "Reg", "reg_name", "reg_by_name", "GPR64", "GPR32",
     "RAX", "RCX", "RDX", "RBX", "RSP", "RBP", "RSI", "RDI",
     "R8", "R9", "R10", "R11", "R12", "R13", "R14", "R15",
     "EAX", "ECX", "EDX", "EBX", "ESP", "EBP", "ESI", "EDI",
     "R8D", "R9D", "R10D", "R11D", "R12D", "R13D", "R14D", "R15D",
-    "validate", "check_bundles", "check_targets", "check_reachability",
+    "validate", "validate_fast", "check_bundles", "check_targets",
+    "check_reachability", "check_reachability_fast",
 ]

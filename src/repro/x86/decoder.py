@@ -46,7 +46,7 @@ from .opcodes import (
 )
 from .registers import GPR32, GPR64, Reg
 
-__all__ = ["decode_one", "decode_all", "iter_decode"]
+__all__ = ["decode_one", "decode_all", "iter_decode", "StreamDecoder"]
 
 _I8 = struct.Struct("<b").unpack_from
 _I32 = struct.Struct("<i").unpack_from
@@ -541,3 +541,74 @@ def iter_decode(code: bytes, start: int = 0, end: int | None = None) -> Iterator
 def decode_all(code: bytes, start: int = 0, end: int | None = None) -> list[Instruction]:
     """Decode a whole region, materialising the instruction list."""
     return list(iter_decode(code, start, end))
+
+
+class StreamDecoder:
+    """Chunk-resumable linear decode over a byte stream.
+
+    Drives the same resumable :class:`_Cursor` as :func:`iter_decode`, but
+    over a buffer that grows as channel records arrive.  ``feed`` decodes
+    every instruction that *provably* fits in the bytes received so far —
+    the cursor never starts an instruction unless a full ``_MAX_INSN``-byte
+    lookahead window is available, so a chunk boundary can never manufacture
+    a spurious truncation error.  ``finish`` drains the tail once the region
+    end is known, applying the same past-the-end check as
+    :func:`iter_decode`.
+
+    The decoded token sequence (and any :class:`DecodeError`, message
+    included) is identical to a whole-buffer :func:`decode_all` of the
+    concatenated chunks; tests pin this at adversarial split points.
+    """
+
+    __slots__ = ("_code", "_cur", "_finished")
+
+    def __init__(self, start: int = 0) -> None:
+        self._code = b""
+        self._cur = _Cursor(b"", start)
+        self._finished = False
+
+    @property
+    def pos(self) -> int:
+        """Offset of the next undecoded byte."""
+        return self._cur.pos
+
+    @property
+    def buffered(self) -> int:
+        """Total bytes fed so far."""
+        return len(self._code)
+
+    def feed(self, chunk: bytes) -> list[Instruction]:
+        """Absorb *chunk*, returning the newly completed instructions."""
+        if self._finished:
+            raise ValueError("feed() after finish()")
+        if chunk:
+            self._code += bytes(chunk)
+            self._cur.code = self._code
+        out: list[Instruction] = []
+        append = out.append
+        cur = self._cur
+        # Decode only while the architectural 15-byte lookahead is fully
+        # buffered: any error raised here would also be raised by the
+        # whole-buffer decode, and no truncation can be a chunking artifact.
+        safe = len(self._code) - _MAX_INSN
+        while cur.pos <= safe:
+            append(_decode_next(cur))
+        return out
+
+    def finish(self, end: int | None = None) -> list[Instruction]:
+        """Drain the remaining tail; the stream ends at *end* (default: all
+        bytes fed).  Applies :func:`iter_decode`'s region-end check."""
+        self._finished = True
+        cur = self._cur
+        cur.code = self._code
+        end = len(self._code) if end is None else end
+        out: list[Instruction] = []
+        append = out.append
+        while cur.pos < end:
+            insn = _decode_next(cur)
+            if insn.end > end:
+                raise DecodeError(
+                    f"instruction at {insn.offset:#x} extends past region end {end:#x}"
+                )
+            append(insn)
+        return out

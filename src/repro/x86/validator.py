@@ -16,13 +16,21 @@ direct branch/call targets.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections.abc import Iterable
 
 from ..errors import ValidationError
 from .asm import BUNDLE_SIZE
 from .insn import Instruction
 
-__all__ = ["validate", "check_bundles", "check_targets", "check_reachability"]
+__all__ = [
+    "validate",
+    "validate_fast",
+    "check_bundles",
+    "check_targets",
+    "check_reachability",
+    "check_reachability_fast",
+]
 
 
 def check_bundles(instructions: list[Instruction], bundle_size: int = BUNDLE_SIZE) -> None:
@@ -110,6 +118,66 @@ def check_reachability(
         )
 
 
+def check_reachability_fast(
+    instructions: list[Instruction],
+    entry: int,
+    roots: Iterable[int],
+    by_offset: dict[int, int],
+    term_idx: list[int],
+    branch_idx: list[int],
+) -> None:
+    """Interval-based reachability, behaviourally identical to
+    :func:`check_reachability`.
+
+    Fall-through chains are contiguous index runs ending at the next
+    terminator, so instead of pushing successors one instruction at a time
+    the worklist marks whole ``[idx, next_terminator]`` spans with a single
+    ``bytearray`` slice-assign and enqueues only the branch targets inside
+    the span.  Requires the sorted index lists the streamed prescan
+    collects: *term_idx* (terminator instructions) and *branch_idx*
+    (instructions with a static target).  Error messages and the
+    first-offender ordering match the reference pass exactly.
+    """
+    n = len(instructions)
+    if entry not in by_offset and instructions:
+        raise ValidationError(f"entry point {entry:#x} is not an instruction start")
+
+    covered = bytearray(n)
+    stack = []
+    for origin in [entry, *roots]:
+        idx = by_offset.get(origin)
+        if idx is None:
+            raise ValidationError(f"root {origin:#x} is not an instruction start")
+        stack.append(idx)
+
+    nterm = len(term_idx)
+    nbranch = len(branch_idx)
+    while stack:
+        idx = stack.pop()
+        if idx >= n or covered[idx]:
+            continue
+        j = bisect_left(term_idx, idx)
+        span_end = term_idx[j] if j < nterm else n - 1
+        covered[idx:span_end + 1] = b"\x01" * (span_end + 1 - idx)
+        k = bisect_left(branch_idx, idx)
+        while k < nbranch and branch_idx[k] <= span_end:
+            tgt = by_offset.get(instructions[branch_idx[k]].target)
+            if tgt is not None and not covered[tgt]:
+                stack.append(tgt)
+            k += 1
+
+    if covered.count(0):
+        for idx, flag in enumerate(covered):
+            if flag:
+                continue
+            insn = instructions[idx]
+            if insn.mnemonic in ("nop", "nopl"):
+                continue  # dead alignment padding
+            raise ValidationError(
+                f"unreachable instruction at {insn.offset:#x} ({insn.mnemonic})"
+            )
+
+
 def validate(
     instructions: list[Instruction],
     *,
@@ -126,3 +194,43 @@ def validate(
     by_offset = {insn.offset: i for i, insn in enumerate(instructions)}
     check_targets(instructions, by_offset.keys())
     check_reachability(instructions, entry, roots, by_offset)
+
+
+def validate_fast(
+    instructions: list[Instruction],
+    *,
+    entry: int = 0,
+    roots: Iterable[int] = (),
+    bundle_size: int = BUNDLE_SIZE,
+    by_offset: dict[int, int],
+    bundle_violation: tuple[int, str, int] | None,
+    branch_idx: list[int],
+    term_idx: list[int],
+) -> None:
+    """:func:`validate` over prescan artifacts collected during streaming.
+
+    The streamed decode loop already walked every instruction once, so the
+    three constraint passes reuse its byproducts instead of rescanning:
+    the first bundle offender (recorded, not raised, during decode — decode
+    errors must keep precedence exactly as in the phased order), the sorted
+    branch/terminator index lists, and the offset->index map.  Check order
+    and every error message match :func:`validate`.
+    """
+    if not instructions:
+        raise ValidationError("empty instruction stream")
+    if bundle_violation is not None:
+        offset, mnemonic, length = bundle_violation
+        raise ValidationError(
+            f"instruction at {offset:#x} ({mnemonic}, "
+            f"{length} bytes) overlaps a {bundle_size}-byte boundary"
+        )
+    for i in branch_idx:
+        insn = instructions[i]
+        if insn.target not in by_offset:
+            raise ValidationError(
+                f"{insn.mnemonic} at {insn.offset:#x} targets {insn.target:#x}, "
+                "which is not a valid instruction start"
+            )
+    check_reachability_fast(
+        instructions, entry, roots, by_offset, term_idx, branch_idx
+    )

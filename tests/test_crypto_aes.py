@@ -139,3 +139,45 @@ class TestCtr:
 
     def test_empty(self):
         assert aes_ctr(self.KEY, self.NONCE, b"") == b""
+
+
+class TestCtrXorInto:
+    """The zero-copy receive primitive must equal ctr_xor byte-for-byte."""
+
+    KEY = bytes(range(32))
+    NONCE = b"\x02" * 8
+
+    def _cipher(self):
+        from repro.crypto.aes import Aes
+
+        return Aes(self.KEY)
+
+    @given(st.binary(max_size=600), st.integers(min_value=0, max_value=64))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_ctr_xor_at_any_offset(self, msg, offset):
+        from repro.crypto.aes import ctr_xor, ctr_xor_into
+
+        cipher = self._cipher()
+        expected = ctr_xor(cipher, self.NONCE, msg)
+        out = bytearray(offset + len(msg) + 16)
+        tail = bytes(out[offset + len(msg):])
+        n = ctr_xor_into(cipher, self.NONCE, msg, out, offset)
+        assert n == len(msg)
+        assert bytes(out[offset:offset + len(msg)]) == expected
+        assert bytes(out[:offset]) == b"\x00" * offset  # no prefix damage
+        assert bytes(out[offset + len(msg):]) == tail   # no suffix damage
+
+    def test_windowed_counters_match_whole_message(self):
+        from repro.crypto.aes import ctr_xor, ctr_xor_into
+
+        cipher = self._cipher()
+        msg = bytes((i * 7) % 256 for i in range(200))
+        expected = ctr_xor(cipher, self.NONCE, msg)
+        out = bytearray(len(msg))
+        off = 0
+        for start in range(0, len(msg), 48):
+            piece = msg[start:start + 48]
+            ctr_xor_into(cipher, self.NONCE, piece, out, off,
+                         initial_counter=start // 16)
+            off += len(piece)
+        assert bytes(out) == expected

@@ -180,3 +180,85 @@ class TestCmovXchgDecode:
         insn = decode_one(Enc.xchg_rm(RAX, Mem(base=RSP, disp=8)), 0)
         assert insn.mnemonic == "xchg"
         assert insn.operands[1].disp == 8
+
+
+class TestStreamDecoder:
+    """Chunk-resumable decode must be indistinguishable from whole-buffer
+    decode — tokens and error text — at every possible split point."""
+
+    def _code(self) -> bytes:
+        from repro.x86 import RAX, RSP
+
+        return (
+            Enc.mov_load(Mem(seg="fs", disp=0x28), RAX)
+            + Enc.mov_store(RAX, Mem(base=RSP))
+            + Enc.alu_load("cmp", Mem(base=RSP), RAX)
+            + Enc.jcc_rel8("jne", 5)
+            + Enc.lea(Mem(rip_relative=True, disp=0x85C70), RAX)
+            + Enc.alu_rr("sub", EAX, ECX)
+            + Enc.alu_imm("and", 0x1FF8, RCX)
+            + Enc.call_rm(RCX)
+            + Enc.mov_imm(0x1122334455667788, RAX)
+            + Enc.nop(9) + Enc.nop(3) + Enc.nop(1)
+            + Enc.jmp_rel32(0x100)
+        )
+
+    @staticmethod
+    def _stream(code: bytes, splits) -> list:
+        from repro.x86 import StreamDecoder
+
+        dec = StreamDecoder()
+        out = []
+        prev = 0
+        for cut in splits:
+            out += dec.feed(code[prev:cut])
+            prev = cut
+        out += dec.feed(code[prev:])
+        out += dec.finish(len(code))
+        return out
+
+    @staticmethod
+    def _tokens(insns):
+        return [(i.offset, i.mnemonic, bytes(i.raw)) for i in insns]
+
+    def test_every_split_point_token_identical(self):
+        code = self._code()
+        oracle = self._tokens(decode_all(code))
+        for cut in range(len(code) + 1):
+            got = self._tokens(self._stream(code, [cut]))
+            assert got == oracle, f"split at byte {cut} diverged"
+
+    def test_byte_at_a_time_feed(self):
+        code = self._code()
+        assert self._tokens(self._stream(code, range(1, len(code)))) \
+            == self._tokens(decode_all(code))
+
+    def test_split_inside_prefix_and_immediate(self):
+        code = self._code()
+        oracle = self._tokens(decode_all(code))
+        # the fs-prefixed load starts at 0 (prefix bytes 0..1); the
+        # 10-byte mov imm64 sits mid-buffer — split inside both at once
+        imm_start = next(
+            i.offset for i in decode_all(code) if i.mnemonic == "mov"
+            and i.num_immediate_bytes == 8
+        )
+        assert self._tokens(self._stream(code, [1, imm_start + 3])) == oracle
+
+    def test_error_text_identical_to_whole_buffer(self):
+        # a region ending mid-instruction must raise the same DecodeError
+        # whether the bytes arrived chunked or at once
+        code = self._code()[:-2]
+        with pytest.raises(DecodeError) as whole:
+            decode_all(code)
+        with pytest.raises(DecodeError) as streamed:
+            self._stream(code, range(3, len(code), 3))
+        assert str(streamed.value) == str(whole.value)
+
+    def test_feed_after_finish_raises(self):
+        from repro.x86 import StreamDecoder
+
+        dec = StreamDecoder()
+        dec.feed(Enc.nop(1))
+        dec.finish()
+        with pytest.raises(ValueError):
+            dec.feed(b"\x90")
