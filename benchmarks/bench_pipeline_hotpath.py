@@ -242,6 +242,12 @@ def run_benchmark(*, quick: bool, scale: float) -> dict:
         )
 
     result["differential"] = run_differential(libc, corpus_size)
+    try:
+        from conftest import stamp_artifact
+    except ImportError:  # pragma: no cover - conftest lives alongside
+        pass
+    else:
+        stamp_artifact(result)
     return result
 
 

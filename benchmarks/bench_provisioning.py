@@ -392,6 +392,12 @@ def run_benchmark(*, quick: bool) -> dict:
         "end_to_end": bench_end_to_end(policies, binary, fleet=fleet),
         "differential": run_differential(policies, binary),
     }
+    try:
+        from conftest import stamp_artifact
+    except ImportError:  # pragma: no cover - conftest lives alongside
+        pass
+    else:
+        stamp_artifact(result)
     return result
 
 

@@ -14,6 +14,7 @@ wall time is only a sanity signal.
 from __future__ import annotations
 
 import os
+import platform
 
 import pytest
 
@@ -24,6 +25,29 @@ _tables: list[str] = []
 
 def record_table(text: str) -> None:
     _tables.append(text)
+
+
+def host_metadata() -> dict:
+    """Host facts stamped into every ``BENCH_*.json`` artifact.
+
+    Wall-clock numbers are only comparable across PRs when the machine
+    behind them is known; this makes the perf trajectory interpretable
+    (and makes CI-runner numbers distinguishable from workstation runs).
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "repro_workers_env": os.environ.get("REPRO_WORKERS"),
+    }
+
+
+def stamp_artifact(payload: dict) -> dict:
+    """Attach :func:`host_metadata` to a benchmark payload in place."""
+    payload.setdefault("host", host_metadata())
+    return payload
 
 
 @pytest.fixture(scope="session")

@@ -199,6 +199,9 @@ def _serve(args) -> int:
     policies = PolicyRegistry([make_policy(args.policy, libc)])
     daemon = InspectionDaemon(
         policies,
+        inspector_mode=args.inspector_mode,
+        workers=args.workers,
+        shared_memory=not args.no_shared_memory,
         pool_size=args.pool_size,
         rsa_bits=args.rsa_bits,
         heap_pages=64,
@@ -231,6 +234,10 @@ def _serve(args) -> int:
                 break
     finally:
         daemon.stop()
+        # the process is exiting — release the worker pool and unlink
+        # the shared-memory arena (a stopped-but-warm daemon would keep
+        # both for the next start(); see InspectionDaemon.stop)
+        daemon.inspector.close()
     snap = daemon.metrics_snapshot()
     nonzero = {k: v for k, v in snap["counters"].items() if v}
     print(f"# daemon stopped; counters: {json.dumps(nonzero)}",
@@ -290,12 +297,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     batch_group.add_argument(
         "--workers", type=_positive_int, default=None,
-        help="pool size (default: cpu count, capped at 8)",
+        help="pool size (default: REPRO_WORKERS env override, else cpu "
+             "count capped at 8)",
     )
     batch_group.add_argument(
         "--mode", default="process",
         choices=["process", "thread", "serial"],
         help="execution backend for the batch",
+    )
+    batch_group.add_argument(
+        "--no-shared-memory", action="store_true",
+        help="process mode only: use the legacy pickling executor "
+             "instead of the zero-copy shared-memory arena",
     )
     batch_group.add_argument(
         "--repeats", type=_positive_int, default=2,
@@ -368,6 +381,13 @@ def main(argv: list[str] | None = None) -> int:
         "--max-uptime", type=float, default=None,
         help="self-stop after this many seconds (CI smoke guard)",
     )
+    serve_group.add_argument(
+        "--inspector-mode", default="serial",
+        choices=["serial", "process", "thread"],
+        help="daemon inspector backend: 'serial' funnels through one "
+             "warm EnGarde; 'process' fans concurrent submissions over "
+             "the zero-copy shared-memory executor",
+    )
     profile_group = parser.add_argument_group("profile options")
     profile_group.add_argument(
         "--benchmark", default="nginx",
@@ -401,6 +421,7 @@ def main(argv: list[str] | None = None) -> int:
             scale=args.scale,
             workers=args.workers,
             mode=args.mode,
+            shared_memory=not args.no_shared_memory,
             repeats=args.repeats,
             timeout=args.timeout,
         )

@@ -130,9 +130,13 @@ def _cstr(blob: bytes, offset: int) -> str:
     return blob[offset:end].decode()
 
 
-def read_elf(raw: bytes) -> ElfImage:
+def read_elf(raw) -> ElfImage:
     """Parse and validate an ELF64 image, raising :class:`ElfError` on any
-    malformation EnGarde is specified to reject."""
+    malformation EnGarde is specified to reject.
+
+    *raw* may be ``bytes`` or a ``memoryview`` (e.g. a zero-copy view
+    into a shared-memory arena slot); section payloads are sliced from
+    it without copying either way."""
     raw = fault_hook("elf.reader", raw, error=ElfError)
     if raw is DROP:
         raise ElfError("[fault:elf.reader:drop] image vanished before parsing")
@@ -168,7 +172,9 @@ def read_elf(raw: bytes) -> ElfImage:
     if ehdr.e_shstrndx >= len(shdrs):
         raise ElfError("bad section-name string table index")
     shstr = shdrs[ehdr.e_shstrndx]
-    shstr_blob = raw[shstr.sh_offset:shstr.sh_offset + shstr.sh_size]
+    # String tables are tiny; materialize them so name lookups work the
+    # same whether *raw* is bytes or a zero-copy memoryview.
+    shstr_blob = bytes(raw[shstr.sh_offset:shstr.sh_offset + shstr.sh_size])
 
     sections: list[Section] = []
     for sh in shdrs:
@@ -196,7 +202,9 @@ def read_elf(raw: bytes) -> ElfImage:
         if sh.sh_link >= len(shdrs) or shdrs[sh.sh_link].sh_type != SHT_STRTAB:
             raise ElfError(".symtab has no linked string table")
         strtab_sh = shdrs[sh.sh_link]
-        strtab = raw[strtab_sh.sh_offset:strtab_sh.sh_offset + strtab_sh.sh_size]
+        strtab = bytes(
+            raw[strtab_sh.sh_offset:strtab_sh.sh_offset + strtab_sh.sh_size]
+        )
         count = sh.sh_size // Sym.SIZE
         for i in range(1, count):  # skip the null symbol
             sym = Sym.unpack(raw, sh.sh_offset + i * Sym.SIZE)

@@ -82,6 +82,12 @@ class WorkerCrashError(ServiceError):
     """An inspection worker died (or was made to die) mid-verdict."""
 
 
+class ArenaError(ServiceError):
+    """The shared-memory arena refused an operation (stale ticket,
+    tombstoned slot, torn-down segment).  Always fail-closed: a worker
+    that sees this produces an errored item, never a wrong verdict."""
+
+
 class DeadlineExceededError(ServiceError):
     """An inspection exceeded its per-item deadline across all retries."""
 

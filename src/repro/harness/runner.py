@@ -197,6 +197,7 @@ def run_batch(
     scale: float | None = None,
     workers: int | None = None,
     mode: str = "process",
+    shared_memory: bool = True,
     repeats: int = 1,
     cache_capacity: int = 1024,
     timeout: float | None = None,
@@ -206,7 +207,8 @@ def run_batch(
 
     Returns the :class:`repro.service.BatchReport`; ``repeats > 1``
     demonstrates the content-addressed cache (every pass after the first
-    is pure hits).
+    is pure hits).  ``shared_memory=False`` forces the legacy pickling
+    executor (the zero-copy differential oracle).
     """
     from ..service import BatchInspector
 
@@ -223,6 +225,7 @@ def run_batch(
         policies,
         workers=workers,
         mode=mode,
+        shared_memory=shared_memory,
         cache_capacity=cache_capacity,
         timeout=timeout,
     ) as inspector:

@@ -29,6 +29,7 @@ from .batch import (
     BatchReport,
     BatchSummary,
     Quarantine,
+    default_workers,
 )
 from .cache import (
     CacheStats,
@@ -46,10 +47,12 @@ from .corpus import VARIANT_KINDS, generate_variant_corpus
 from .daemon import InspectionDaemon
 from .metrics import DaemonMetrics, LatencyHistogram
 from .pool import EnclavePool, PooledEnclave
+from .shm import ArenaTicket, SharedArena
 
 __all__ = [
     "BatchInspector", "BatchItemResult", "BatchReport", "BatchSummary",
-    "Quarantine",
+    "Quarantine", "default_workers",
+    "SharedArena", "ArenaTicket",
     "InspectionCache", "ProvisioningVerdictCache", "CacheStats", "cache_key",
     "generate_variant_corpus", "VARIANT_KINDS",
     "InspectionDaemon", "InspectionClient", "ClientVerdict", "RemoteError",

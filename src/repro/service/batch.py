@@ -41,11 +41,21 @@ Workers return ``ComplianceReport.serialize()`` bytes, not rich outcome
 objects: the wire form is cheap to pickle and guarantees the batch path
 can be compared byte-for-byte against the sequential baseline (the
 differential tests do exactly that).
+
+Process mode is **zero-copy by default** (``shared_memory=True``):
+binaries are published once into a :class:`~repro.service.shm.SharedArena`
+and workers attach memoryviews straight into the ELF reader and the
+resumable decoder — only a tiny ticket crosses the pickle boundary per
+task.  ``shared_memory=False`` keeps the original pickling submit path
+verbatim, frozen as the differential oracle for the zero-copy executor
+(see ``benchmarks/bench_slo.py``).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import threading
 import time
 from concurrent.futures import (
     BrokenExecutor,
@@ -59,17 +69,39 @@ from dataclasses import dataclass, field, replace
 from ..core.engarde import EnGarde
 from ..core.policy import PolicyRegistry
 from ..core.report import ComplianceReport
-from ..errors import WorkerCrashError
+from ..errors import ArenaError, WorkerCrashError
 from ..faults.clock import Clock, SystemClock
 from ..faults.hooks import DROP, fault_hook
+from . import shm
 from .cache import CacheKey, InspectionCache, cache_key
 
 __all__ = [
     "BatchInspector", "BatchItemResult", "BatchReport", "BatchSummary",
-    "Quarantine",
+    "Quarantine", "default_workers",
 ]
 
 MODES = ("process", "thread", "serial")
+
+
+def default_workers() -> int:
+    """Pool size when the caller does not pin one.
+
+    Honors the ``REPRO_WORKERS`` environment override (benches and CI
+    pin parallelism with it) — validated ``>= 1`` — and otherwise uses
+    the machine's CPU count capped at 8.
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env is not None and env.strip():
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be an integer >= 1, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ValueError(f"REPRO_WORKERS must be >= 1, got {value}")
+        return value
+    return min(os.cpu_count() or 1, 8)
 
 
 # ----------------------------------------------------------------- workers
@@ -86,6 +118,18 @@ def _init_worker(policies: PolicyRegistry) -> None:
 def _pool_inspect(raw_elf: bytes) -> bytes:
     fault_hook("service.batch.worker", error=WorkerCrashError)
     return _WORKER_ENGARDE.inspect(raw_elf, benchmark="").report.serialize()
+
+
+def _pool_inspect_shm(ticket: shm.ArenaTicket) -> bytes:
+    """Zero-copy worker task: only the tiny ticket crossed the pickle
+    boundary.  The memoryview feeds the ELF reader and the decoder
+    directly; the verdict returns as the compact frozen report wire."""
+    fault_hook("service.batch.worker", error=WorkerCrashError)
+    view = shm.attach_view(ticket)
+    try:
+        return _WORKER_ENGARDE.inspect(view, benchmark="").report.serialize()
+    finally:
+        view.release()
 
 
 def _fresh_inspect(policies: PolicyRegistry, raw_elf: bytes) -> bytes:
@@ -112,11 +156,13 @@ class Quarantine:
             raise ValueError("quarantine threshold must be >= 1")
         self.threshold = threshold
         self._failures: dict[CacheKey, int] = {}
+        self._lock = threading.Lock()
 
     def record_failure(self, key: CacheKey) -> bool:
         """Count one failure; returns True when the key is now quarantined."""
-        count = self._failures.get(key, 0) + 1
-        self._failures[key] = count
+        with self._lock:
+            count = self._failures.get(key, 0) + 1
+            self._failures[key] = count
         return count >= self.threshold
 
     def record_success(self, key: CacheKey) -> None:
@@ -260,6 +306,15 @@ class BatchInspector:
         ``"process"`` (default, real parallelism for the CPU-bound
         pipeline), ``"thread"`` (useful when the cache absorbs most
         requests), or ``"serial"`` (no pool — the differential baseline).
+    shared_memory:
+        In ``process`` mode (default on), publish binaries into a
+        :class:`~repro.service.shm.SharedArena` and hand workers
+        zero-copy tickets instead of pickling the raw bytes through the
+        pool pipe.  ``False`` keeps the original pickling submit path —
+        the differential oracle for the zero-copy executor (and the
+        safe fallback where ``/dev/shm`` is unavailable).  Ignored in
+        ``thread``/``serial`` modes, which never cross a process
+        boundary.
     cache:
         An :class:`InspectionCache` to share across inspectors, ``None``
         to create a private one, or ``False`` to disable caching.
@@ -293,6 +348,7 @@ class BatchInspector:
         *,
         workers: int | None = None,
         mode: str = "process",
+        shared_memory: bool = True,
         cache: InspectionCache | None | bool = None,
         cache_capacity: int = 1024,
         timeout: float | None = None,
@@ -323,10 +379,9 @@ class BatchInspector:
             else None
         )
         if workers is None:
-            import os
-
-            workers = min(os.cpu_count() or 1, 8)
+            workers = default_workers()
         self.workers = 1 if mode == "serial" else workers
+        self.shared_memory = bool(shared_memory) and mode == "process"
         if cache is False:
             self.cache: InspectionCache | None = None
         elif cache is None or cache is True:
@@ -335,9 +390,17 @@ class BatchInspector:
             self.cache = cache
         self._executor: ProcessPoolExecutor | ThreadPoolExecutor | None = None
         self._serial_engarde: EnGarde | None = None
+        self._arena: shm.SharedArena | None = None
+        #: tickets whose workers may still be reading (timed-out futures);
+        #: released only once the pool has shut down
+        self._zombie_tickets: list[shm.ArenaTicket] = []
+        #: guards executor/arena lifecycle — inspect_batch may be called
+        #: from many daemon threads at once in process mode
+        self._lifecycle = threading.RLock()
         #: set when a broken pool forced a fallback to serial execution
         self._degraded = False
         self._retry_attempts = 0
+        self._stats_lock = threading.Lock()
 
     @property
     def degraded(self) -> bool:
@@ -346,16 +409,28 @@ class BatchInspector:
     # -------------------------------------------------------------- pool
 
     def _ensure_executor(self):
-        if self._executor is None:
-            if self.mode == "process":
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    initializer=_init_worker,
-                    initargs=(self.policies,),
-                )
-            else:
-                self._executor = ThreadPoolExecutor(max_workers=self.workers)
-        return self._executor
+        with self._lifecycle:
+            if self._executor is None:
+                if self.mode == "process":
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        initializer=_init_worker,
+                        initargs=(self.policies,),
+                    )
+                else:
+                    self._executor = ThreadPoolExecutor(max_workers=self.workers)
+            return self._executor
+
+    def _ensure_arena(self) -> shm.SharedArena:
+        with self._lifecycle:
+            if self._arena is None or self._arena.closed:
+                self._arena = shm.SharedArena()
+            return self._arena
+
+    def arena_stats(self) -> dict | None:
+        """Lifetime arena counters, or ``None`` before first zero-copy use."""
+        with self._lifecycle:
+            return self._arena.stats() if self._arena is not None else None
 
     def _submit(self, raw_elf: bytes) -> Future:
         executor = self._ensure_executor()
@@ -363,11 +438,26 @@ class BatchInspector:
             return executor.submit(_pool_inspect, raw_elf)
         return executor.submit(_fresh_inspect, self.policies, raw_elf)
 
+    def _teardown_arena(self) -> None:
+        """Release straggler tickets and unlink the arena (fail-closed:
+        any worker still attached sees tombstoned headers, never reuse)."""
+        with self._lifecycle:
+            self._zombie_tickets.clear()
+            if self._arena is not None:
+                self._arena.close()
+                self._arena = None
+
     def close(self) -> None:
-        """Shut the pool down (idempotent; the cache survives)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
-            self._executor = None
+        """Shut the pool and the arena down (idempotent; the cache
+        survives).  Safe with futures still in flight: the pool drains
+        first (``cancel_futures`` drops queued work, running work
+        finishes), and only then is the shared memory unlinked — so no
+        live worker ever reads a recycled slot."""
+        with self._lifecycle:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True, cancel_futures=True)
+                self._executor = None
+            self._teardown_arena()
 
     def __enter__(self) -> "BatchInspector":
         return self
@@ -390,6 +480,12 @@ class BatchInspector:
                 items.append((f"binary-{i}", bytes(entry)))
             else:
                 label, raw = entry
+                # Snapshot mutable buffers once, up front: cache keys,
+                # dedup grouping, and shm slot contents must never alias
+                # a buffer the caller mutates mid-batch.  (bytes(raw) on
+                # an immutable bytes object is a no-copy identity.)
+                if isinstance(raw, (bytearray, memoryview)):
+                    raw = bytes(raw)
                 items.append((str(label), raw))
 
         summary = BatchSummary(
@@ -574,47 +670,89 @@ class BatchInspector:
                     ))
                 if tries > self.retries:
                     return (None, error)
-                self._retry_attempts += 1
+                with self._stats_lock:
+                    self._retry_attempts += 1
                 clock.sleep(self.backoff_base * (2 ** (tries - 1)))
 
     def _run_pooled(self, items, misses):
         """Fan unique misses out over the pool; collect with per-binary
         timeout, retry-with-backoff, and exception isolation.  A broken
-        pool degrades the remaining misses (and all future batches) to
-        serial execution instead of failing the batch."""
+        pool (or a refused arena) degrades the remaining misses — and
+        all future batches — to serial execution instead of failing the
+        batch.
+
+        Zero-copy path (``shared_memory``): each unique miss is
+        published into the arena exactly once; retries resubmit the
+        same ticket.  A ticket is released as soon as its verdict is
+        final — except after a pool *timeout*, where the worker may
+        still be reading the slot: those tickets park on the zombie
+        list and are only freed once the pool has shut down, so a slot
+        is never rewritten under a live reader.
+        """
         verdicts: dict[CacheKey, tuple[bytes | None, str | None]] = {}
         pending = dict(misses)
         starts: dict[CacheKey, float] = {}
         tries = {key: 0 for key in misses}
+        tickets: dict[CacheKey, shm.ArenaTicket] = {}
+        use_shm = self.shared_memory
+
+        def settle(key, *, zombie: bool = False) -> None:
+            ticket = tickets.pop(key, None)
+            if ticket is None:
+                return
+            if zombie:
+                with self._lifecycle:
+                    self._zombie_tickets.append(ticket)
+            else:
+                arena = self._arena
+                if arena is not None:
+                    arena.release(ticket)
+
+        def abandon():
+            """Fail closed: drop every ticket (in-flight pooled results
+            are never consumed past this point) and go serial."""
+            for key in list(tickets):
+                settle(key, zombie=True)
+            remaining = {k: v for k, v in pending.items() if k not in verdicts}
+            return self._degrade(items, remaining, verdicts)
+
         while pending:
             futures: dict[CacheKey, Future] = {}
             for key, indices in pending.items():
                 starts.setdefault(key, self.clock.time())
+                raw = items[indices[0]][1]
                 try:
-                    futures[key] = self._submit(items[indices[0]][1])
-                except BrokenExecutor:
-                    remaining = {
-                        k: v for k, v in pending.items() if k not in verdicts
-                    }
-                    return self._degrade(items, remaining, verdicts)
+                    if use_shm:
+                        ticket = tickets.get(key)
+                        if ticket is None:
+                            ticket = self._ensure_arena().publish(raw)
+                            tickets[key] = ticket
+                        futures[key] = self._ensure_executor().submit(
+                            _pool_inspect_shm, ticket
+                        )
+                    else:
+                        futures[key] = self._submit(raw)
+                except (BrokenExecutor, ArenaError):
+                    return abandon()
             retry_next: dict[CacheKey, list[int]] = {}
             for key, future in futures.items():
                 try:
                     verdicts[key] = (future.result(timeout=self.timeout), None)
+                    settle(key)
                     continue
                 except FutureTimeoutError:
                     future.cancel()
                     # Final: the worker slot is still occupied; retrying
-                    # would stack hung work behind a hung worker.
+                    # would stack hung work behind a hung worker.  The
+                    # hung worker may also still be *reading* the shm
+                    # slot — park the ticket until the pool is gone.
                     verdicts[key] = (
                         None, f"inspection exceeded {self.timeout}s timeout",
                     )
+                    settle(key, zombie=True)
                     continue
                 except BrokenExecutor:
-                    remaining = {
-                        k: v for k, v in pending.items() if k not in verdicts
-                    }
-                    return self._degrade(items, remaining, verdicts)
+                    return abandon()
                 except Exception as exc:  # noqa: BLE001 — isolation boundary
                     error = f"{type(exc).__name__}: {exc}"
                 tries[key] += 1
@@ -628,22 +766,36 @@ class BatchInspector:
                         f"{self.deadline}s exceeded after {tries[key]} "
                         f"attempt(s); last failure: {error}"
                     ))
+                    settle(key)
                 elif tries[key] > self.retries:
                     verdicts[key] = (None, error)
+                    settle(key)
                 else:
-                    self._retry_attempts += 1
+                    with self._stats_lock:
+                        self._retry_attempts += 1
                     retry_next[key] = pending[key]
             if retry_next:
                 attempt = min(tries[k] for k in retry_next)
                 self.clock.sleep(self.backoff_base * (2 ** (attempt - 1)))
             pending = retry_next
+        for key in list(tickets):  # defensive: nothing should remain
+            settle(key)
         return verdicts
 
     def _degrade(self, items, remaining, verdicts):
-        """Broken pool: finish the batch serially, stay serial afterwards."""
-        self._degraded = True
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
+        """Broken pool: finish the batch serially, stay serial afterwards.
+
+        Fail-closed teardown order: the pool is shut down first (no new
+        slot reads can start), then the arena is tombstoned and
+        unlinked.  Teardown never rewrites payload bytes, so a worker
+        caught mid-read completes with consistent content — and its
+        result is discarded anyway, because every remaining miss is
+        re-run serially right here."""
+        with self._lifecycle:
+            self._degraded = True
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+            self._teardown_arena()
         verdicts.update(self._run_serial(items, remaining))
         return verdicts

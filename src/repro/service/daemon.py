@@ -122,6 +122,9 @@ class InspectionDaemon:
         policies: PolicyRegistry,
         *,
         inspector: BatchInspector | None = None,
+        inspector_mode: str = "serial",
+        workers: int | None = None,
+        shared_memory: bool = True,
         cache: InspectionCache | None = None,
         verdict_cache: ProvisioningVerdictCache | None = None,
         pool: EnclavePool | None = None,
@@ -149,9 +152,16 @@ class InspectionDaemon:
             verdict_cache if verdict_cache is not None
             else ProvisioningVerdictCache(1024)
         )
+        # ``serial`` (default): one warm EnGarde, daemon threads funnel
+        # through ``_inspect_lock``.  ``process``: the zero-copy
+        # shared-memory executor — handler threads submit concurrently
+        # and misses fan out across cores (see docs/PERFORMANCE.md,
+        # "Zero-copy executor").
         self.inspector = inspector or BatchInspector(
             policies,
-            mode="serial",          # one warm EnGarde; daemon threads funnel
+            mode=inspector_mode,
+            workers=workers,
+            shared_memory=shared_memory,
             cache=self.cache,
             retries=retries,
             deadline=deadline,
@@ -558,7 +568,14 @@ class InspectionDaemon:
         """One verdict through the warm inspector (still byte-identical to
         the serial EnGarde oracle — the batch differential tests pin it)."""
         t0 = time.perf_counter()
-        with self._inspect_lock:
+        if self.inspector.mode == "serial":
+            # one warm EnGarde: its CycleMeter phase bookkeeping cannot
+            # run two inspections at once
+            with self._inspect_lock:
+                report = self.inspector.inspect_batch([(label, raw)])
+        else:
+            # pooled inspector: inspect_batch is thread-safe, so handler
+            # threads fan submissions across the worker pool concurrently
             report = self.inspector.inspect_batch([(label, raw)])
         self.metrics.observe("inspect", time.perf_counter() - t0)
         item = report.results[0]

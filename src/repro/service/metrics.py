@@ -75,6 +75,29 @@ class LatencyHistogram:
                     return self._max or self.bounds[-1]
         return self._max or 0.0  # pragma: no cover - loop always returns
 
+    def summary(self) -> dict:
+        """Bucket-resolution p50/p95/p99 plus count/mean — the compact
+        form the SLO bench and dashboards want per stage."""
+        with self._lock:
+            count, total = self._count, self._sum
+        return {
+            "count": count,
+            "mean_seconds": round(total / count, 6) if count else 0.0,
+            "p50_seconds": self.quantile(0.50),
+            "p95_seconds": self.quantile(0.95),
+            "p99_seconds": self.quantile(0.99),
+        }
+
+    def reset(self) -> None:
+        """Zero every bucket and statistic (load-step boundaries in the
+        SLO bench; production daemons never reset)."""
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = None
+            self._max = None
+
     def as_dict(self) -> dict:
         with self._lock:
             buckets = {}
@@ -130,6 +153,22 @@ class DaemonMetrics:
             with self._lock:
                 hist = self.histograms.setdefault(stage, LatencyHistogram())
         hist.observe(seconds)
+
+    def latency_summary(self) -> dict:
+        """Per-stage p50/p95/p99 summaries (see
+        :meth:`LatencyHistogram.summary`)."""
+        return {
+            stage: hist.summary()
+            for stage, hist in sorted(self.histograms.items())
+        }
+
+    def reset(self) -> None:
+        """Zero all counters (keeping declared names) and histograms."""
+        with self._lock:
+            for name in self._counters:
+                self._counters[name] = 0
+        for hist in self.histograms.values():
+            hist.reset()
 
     def snapshot(self) -> dict:
         with self._lock:
