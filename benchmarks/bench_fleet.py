@@ -1,0 +1,342 @@
+"""Fleet throughput: cold vs warm-restart at 100+ simulated clients.
+
+The sharded :class:`~repro.service.FleetCoordinator` exists so the
+"judge the binary once, reuse the attested verdict" economy survives
+provider churn.  This bench measures exactly that claim, one artifact
+(``BENCH_fleet.json``):
+
+* **cold leg** — an N-shard fleet over a *fresh*
+  :class:`~repro.service.VerdictStore` directory is stormed by 100+
+  concurrent tenant threads (each its own attested
+  :class:`~repro.service.InspectionClient` per shard it touches); every
+  unique binary pays full inspection on the shard that owns its content
+  digest,
+* **warm-restart leg** — the whole fleet is torn down and rebuilt over
+  the *same* store directory (store recovery re-validates every blob at
+  startup), then the identical storm runs again; verdicts are served
+  from the content-addressed store, so the only remaining costs are the
+  attested handshakes and the encrypted wire,
+* **differential oracle** — every delivered verdict in both legs is
+  compared byte-for-byte against a serial single-:class:`~repro.core.
+  EnGarde` oracle (the single-daemon path's own oracle); any divergence
+  fails the bench regardless of scale.
+
+The storm corpus mixes the deterministic variant rotation (compliant /
+policy-rejected / structurally-rejected / duplicate — the fleet's
+adversarial steady state) with scaled paper workloads as the *heavy
+tenants* whose inspection cost the store actually amortises.
+
+Bars (full scale only for the throughput bar; the differential and
+hang/error bars always apply):
+
+* warm-restart throughput >= 2.0x the same run's cold throughput,
+* 0 verdict-wire divergences vs the serial oracle,
+* 0 hung client threads, 0 untyped worker errors.
+
+Runs both under pytest (``PYTHONPATH=src python -m pytest benchmarks/
+bench_fleet.py``) and as a script (``python benchmarks/bench_fleet.py
+[--quick] [--output PATH]``).  Quick mode (CI): ``--quick`` or
+``REPRO_BENCH_QUICK=1`` shrinks the fleet and the storm; the throughput
+bar is waived, the differential never is.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.core import (
+    EnGarde,
+    IfccPolicy,
+    LibraryLinkingPolicy,
+    PolicyRegistry,
+    StackProtectionPolicy,
+)
+from repro.service import (
+    FleetCoordinator,
+    VerdictStore,
+    generate_variant_corpus,
+    run_fleet_storm,
+)
+from repro.toolchain import build_libc
+from repro.toolchain.workloads import PAPER_BENCHMARKS, build_workload
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+DEFAULT_OUTPUT = "BENCH_fleet.json"
+
+#: the PR's acceptance bar: warm-restart vs cold fleet throughput
+WARM_BAR = 2.0
+
+
+def _build_policies(libc) -> PolicyRegistry:
+    return PolicyRegistry([
+        LibraryLinkingPolicy(libc.reference_hashes()),
+        StackProtectionPolicy(exempt_functions=set(libc.offsets)),
+        IfccPolicy(),
+    ])
+
+
+def build_fleet_corpus(libc, *, quick: bool) -> list[tuple[str, bytes]]:
+    """Variant rotation + heavy paper-workload tenants, interleaved.
+
+    Interleaving matters: each storm client submits a contiguous
+    rotation slice, so mixing keeps every slice a blend of cheap
+    adversarial variants and expensive compliant tenants instead of
+    segregating the load by client index.
+    """
+    variants = generate_variant_corpus(12 if quick else 52, libc=libc)
+    n_heavy = 2 if quick else 21
+    scales = (0.02,) if quick else (0.08, 0.1, 0.12)
+    heavies = []
+    for i in range(n_heavy):
+        name = PAPER_BENCHMARKS[i % len(PAPER_BENCHMARKS)]
+        scale = scales[i % len(scales)]
+        binary = build_workload(
+            name, stack_protector=True, ifcc=True, libc=libc, scale=scale,
+        )
+        heavies.append((f"tenant-{name}-{scale}", binary.elf))
+    # round-robin interleave, heavies spread evenly through the rotation
+    corpus: list[tuple[str, bytes]] = []
+    stride = max(len(variants) // max(len(heavies), 1), 1)
+    hv = iter(heavies)
+    for i, item in enumerate(variants):
+        corpus.append(item)
+        if i % stride == stride - 1:
+            nxt = next(hv, None)
+            if nxt is not None:
+                corpus.append(nxt)
+    corpus.extend(hv)
+    return corpus
+
+
+def build_oracle(policies: PolicyRegistry, corpus) -> tuple[dict, float]:
+    """Serial single-EnGarde verdict wires per label (the differential
+    oracle) plus the serial wall time for context."""
+    oracle: dict[str, bytes] = {}
+    engarde = EnGarde(policies)
+    t0 = time.perf_counter()
+    for label, raw in corpus:
+        oracle[label] = engarde.inspect(
+            raw, benchmark=label
+        ).report.serialize()
+    return oracle, time.perf_counter() - t0
+
+
+def storm_leg(
+    policies: PolicyRegistry,
+    corpus,
+    oracle: dict,
+    store_dir: str,
+    *,
+    shards: int,
+    clients: int,
+    per_client: int,
+) -> dict:
+    """Build a fleet over *store_dir*, storm it, tear it all down.
+
+    Each call constructs a completely fresh coordinator (new daemons,
+    new enclave pools, empty in-memory caches) — the only state carried
+    between legs is the store directory itself, which is exactly the
+    restart the bench measures.
+    """
+    fleet = FleetCoordinator(
+        policies,
+        shards=shards,
+        store=VerdictStore(store_dir),
+        rsa_bits=768,
+        heap_pages=64,
+        client_pages=64,
+        enclave_pages=0x2000,
+        max_connections=clients + 4,
+        # every attested connection holds a pooled enclave for its
+        # lifetime, so the pool is provisioned for the expected
+        # per-shard connection concurrency up front — enclave builds
+        # belong to fleet bring-up, not to the storm being measured
+        pool_size=clients // shards + 12,
+        # at 100+ concurrent tenants a shard's queue can hold seconds of
+        # inspection work; generous timeouts keep queueing delay out of
+        # the failure column (hangs are still bounded by the storm wall)
+        read_timeout=120.0,
+        client_timeout=120.0,
+    )
+    fleet.start()
+    try:
+        result = run_fleet_storm(
+            fleet, corpus,
+            clients=clients, per_client=per_client, oracle=oracle,
+        )
+        status = fleet.status()
+        result["store"] = status["store"]
+        result["live_shards"] = status["live_shards"]
+        return result
+    finally:
+        fleet.stop()
+
+
+def run_benchmark(*, quick: bool, store_dir: str | None = None) -> dict:
+    shards = 2 if quick else 4
+    clients = 12 if quick else 100
+    # one submission per tenant at full scale: the storm measures the
+    # fleet's cost to serve a *new* tenant (handshake + verdict), and
+    # 100 clients over 73 corpus items still cover every unique binary
+    per_client = 2 if quick else 1
+
+    libc = build_libc()
+    policies = _build_policies(libc)
+    corpus = build_fleet_corpus(libc, quick=quick)
+    oracle, serial_seconds = build_oracle(policies, corpus)
+
+    store_dir = store_dir or tempfile.mkdtemp(prefix="bench-fleet-")
+    cold = storm_leg(
+        policies, corpus, oracle, store_dir,
+        shards=shards, clients=clients, per_client=per_client,
+    )
+    warm = storm_leg(
+        policies, corpus, oracle, store_dir,
+        shards=shards, clients=clients, per_client=per_client,
+    )
+    ratio = (
+        warm["submissions_per_second"] / cold["submissions_per_second"]
+        if cold["submissions_per_second"] else 0.0
+    )
+
+    result: dict = {
+        "schema": "bench_fleet/1",
+        "quick": quick,
+        "shards": shards,
+        "clients": clients,
+        "per_client": per_client,
+        "corpus_items": len(corpus),
+        "corpus_bytes": sum(len(raw) for _, raw in corpus),
+        "serial_oracle_seconds": round(serial_seconds, 4),
+        "cold": cold,
+        "warm_restart": warm,
+        "warm_over_cold": round(ratio, 2),
+    }
+    try:
+        from conftest import stamp_artifact
+    except ImportError:  # pragma: no cover - conftest lives alongside
+        pass
+    else:
+        stamp_artifact(result)
+    return result
+
+
+def _check_bars(result: dict) -> list[str]:
+    """Differential/hang bars always; the throughput bar at full scale."""
+    problems = []
+    for leg in ("cold", "warm_restart"):
+        res = result[leg]
+        if res["divergences"]:
+            problems.append(
+                f"{leg}: {res['divergences']} verdict-wire divergence(s) "
+                f"vs the serial oracle: {res['failures'][:3]}"
+            )
+        if res["hung_clients"]:
+            problems.append(f"{leg}: hung client threads {res['hung_clients']}")
+        if res["worker_errors"]:
+            problems.append(f"{leg}: worker errors {res['worker_errors'][:3]}")
+        if res["typed_failures"]:
+            problems.append(
+                f"{leg}: {res['typed_failures']} submission(s) failed "
+                f"with no shard loss in play: {res['failures'][:3]}"
+            )
+    if result["warm_restart"]["store"]["recovery_discarded"]:
+        problems.append(
+            "warm restart discarded "
+            f"{result['warm_restart']['store']['recovery_discarded']} "
+            "blob(s) that the cold leg should have published cleanly"
+        )
+    if not result["quick"] and result["warm_over_cold"] < WARM_BAR:
+        problems.append(
+            f"warm-restart throughput {result['warm_over_cold']}x of cold "
+            f"is below the {WARM_BAR}x bar"
+        )
+    return problems
+
+
+def render_table(result: dict) -> str:
+    rows = [
+        f"fleet: {result['shards']} shard(s), {result['clients']} clients "
+        f"x {result['per_client']} submission(s), "
+        f"{result['corpus_items']} corpus items "
+        f"({result['corpus_bytes'] / 1e6:.1f} MB), serial oracle "
+        f"{result['serial_oracle_seconds']}s",
+        f"{'leg':<14} {'subs':>5} {'subs/s':>8} {'inspected':>9} "
+        f"{'cache':>6} {'diverge':>7} {'store hits':>10}",
+    ]
+    for leg in ("cold", "warm_restart"):
+        res = result[leg]
+        sources = res["sources"]
+        rows.append(
+            f"{leg:<14} {res['submissions']:>5} "
+            f"{res['submissions_per_second']:>8} "
+            f"{sources.get('inspected', 0):>9} {sources.get('cache', 0):>6} "
+            f"{res['divergences']:>7} {res['store']['hits']:>10}"
+        )
+    rows.append(
+        f"warm-over-cold: {result['warm_over_cold']}x "
+        f"(bar {WARM_BAR}x at full scale; quick={result['quick']})"
+    )
+    return "\n".join(rows)
+
+
+# ------------------------------------------------------------------ pytest
+
+def test_fleet_throughput():
+    try:
+        from conftest import record_table
+    except ImportError:  # script-style invocation
+        record_table = print
+    result = run_benchmark(quick=QUICK)
+    Path(DEFAULT_OUTPUT).write_text(json.dumps(result, indent=1) + "\n")
+    record_table(
+        "Fleet cold vs warm-restart storm (serial oracle differential):\n"
+        + render_table(result)
+    )
+    problems = _check_bars(result)
+    assert not problems, problems
+
+
+# ------------------------------------------------------------------ script
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", default=QUICK,
+        help="small fleet + short storm (CI fleet-smoke mode; the "
+        "throughput bar is waived, the differential is not)",
+    )
+    parser.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="store directory to reuse (default: a fresh temp dir)",
+    )
+    parser.add_argument(
+        "--output", default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON artifact (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    t0 = time.time()
+    result = run_benchmark(quick=args.quick, store_dir=args.store)
+    Path(args.output).write_text(json.dumps(result, indent=1) + "\n")
+    print(render_table(result))
+    print(f"(wrote {args.output}; {time.time() - t0:.0f}s wall)")
+
+    problems = _check_bars(result)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

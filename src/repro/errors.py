@@ -88,6 +88,18 @@ class ArenaError(ServiceError):
     that sees this produces an errored item, never a wrong verdict."""
 
 
+class StoreError(ServiceError):
+    """The on-disk verdict store refused a blob (torn write, truncated
+    file, digest or key mismatch).  Always fail-closed: a corrupt blob
+    is discarded and surfaces as a cache *miss* plus this typed error —
+    never as a false verdict hit."""
+
+
+class FleetError(ServiceError):
+    """The sharded provider fleet could not place or serve a submission
+    (no live shards, unknown shard id, coordinator misconfiguration)."""
+
+
 class DeadlineExceededError(ServiceError):
     """An inspection exceeded its per-item deadline across all retries."""
 

@@ -44,10 +44,17 @@ from .client import (
     device_key_from_announce,
 )
 from .corpus import VARIANT_KINDS, generate_variant_corpus
-from .daemon import InspectionDaemon
+from .daemon import ZERO_SHARD, InspectionDaemon
+from .fleet import ConsistentHashRing, FleetCoordinator, run_fleet_storm
 from .metrics import DaemonMetrics, LatencyHistogram
 from .pool import EnclavePool, PooledEnclave
 from .shm import ArenaTicket, SharedArena
+from .store import (
+    ZERO_STORE,
+    TieredCache,
+    TieredProvisioningVerdictCache,
+    VerdictStore,
+)
 
 __all__ = [
     "BatchInspector", "BatchItemResult", "BatchReport", "BatchSummary",
@@ -56,6 +63,9 @@ __all__ = [
     "InspectionCache", "ProvisioningVerdictCache", "CacheStats", "cache_key",
     "generate_variant_corpus", "VARIANT_KINDS",
     "InspectionDaemon", "InspectionClient", "ClientVerdict", "RemoteError",
-    "device_key_from_announce",
+    "device_key_from_announce", "ZERO_SHARD",
     "EnclavePool", "PooledEnclave", "DaemonMetrics", "LatencyHistogram",
+    "VerdictStore", "TieredCache", "TieredProvisioningVerdictCache",
+    "ZERO_STORE",
+    "FleetCoordinator", "ConsistentHashRing", "run_fleet_storm",
 ]

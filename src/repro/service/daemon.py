@@ -64,8 +64,20 @@ from .batch import BatchInspector, BatchItemResult
 from .cache import InspectionCache, ProvisioningVerdictCache
 from .metrics import DaemonMetrics
 from .pool import EnclavePool, PooledEnclave
+from .store import ZERO_STORE
 
-__all__ = ["InspectionDaemon"]
+__all__ = ["InspectionDaemon", "ZERO_SHARD"]
+
+#: Always-present shard-identity schema for STATUS/METRICS, mirroring
+#: the ``ZERO_RESILIENCE`` pattern: a fleetless daemon reports exactly
+#: these zeroed fields, a fleet shard reports the same keys filled in —
+#: dashboards never branch on key presence.
+ZERO_SHARD = {
+    "fleeted": False,
+    "shard_id": "",
+    "shard_index": 0,
+    "fleet_size": 0,
+}
 
 #: counters pre-declared so the METRICS schema is stable from request one
 _COUNTERS = tuple(
@@ -141,8 +153,18 @@ class InspectionDaemon:
         clock: Clock | None = None,
         rng: HmacDrbg | None = None,
         metrics: DaemonMetrics | None = None,
+        shard_id: str = "",
+        shard_index: int = 0,
+        fleet_size: int = 0,
+        store=None,
     ) -> None:
         self.policies = policies
+        #: fleet identity (zeroed when fleetless — see ``ZERO_SHARD``)
+        self.shard_id = shard_id
+        self.shard_index = shard_index
+        self.fleet_size = fleet_size
+        #: shared on-disk VerdictStore, if this daemon is store-backed
+        self.store = store
         self.clock = clock or SystemClock()
         self.rng = rng or HmacDrbg(b"inspection-daemon")
         self.read_timeout = read_timeout
@@ -631,6 +653,23 @@ class InspectionDaemon:
             enclave_pages=self.pool.enclave_pages,
         )
 
+    def shard_info(self) -> dict:
+        """Always-present shard identity (``ZERO_SHARD`` when fleetless)."""
+        if not self.shard_id and self.fleet_size == 0:
+            return dict(ZERO_SHARD)
+        return {
+            "fleeted": True,
+            "shard_id": self.shard_id,
+            "shard_index": self.shard_index,
+            "fleet_size": self.fleet_size,
+        }
+
+    def store_info(self) -> dict:
+        """Always-present store stats (``ZERO_STORE`` when storeless)."""
+        if self.store is None:
+            return dict(ZERO_STORE)
+        return self.store.stats()
+
     def status(self) -> dict:
         """The ``/healthz``-style summary served by ``STATUS``."""
         quarantine = self.inspector.quarantine
@@ -647,6 +686,8 @@ class InspectionDaemon:
             "backlog": inflight,
             "quarantined_keys": len(quarantine) if quarantine else 0,
             "cache_entries": len(self.cache) if self.cache is not None else 0,
+            "shard": self.shard_info(),
+            "store": self.store_info(),
         }
 
     def metrics_snapshot(self) -> dict:
@@ -671,6 +712,10 @@ class InspectionDaemon:
             # The stable (always-present, zeroed when idle) resilience
             # schema BatchSummary shares; see docs/RESILIENCE.md.
             "resilience": self.inspector.resilience_stats(),
+            # Same pattern for fleet identity and the on-disk verdict
+            # store; see docs/FLEET.md.
+            "shard": self.shard_info(),
+            "store": self.store_info(),
         }
         snap.update(self.metrics.snapshot())
         snap["status"] = self.status()

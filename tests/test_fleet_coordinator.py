@@ -1,0 +1,335 @@
+"""Fleet coordinator battery: ring properties + crash/rebalance recovery.
+
+Two halves, matching the satellite checklist:
+
+* hypothesis property tests for :class:`~repro.service.
+  ConsistentHashRing` — placement is a pure function of (shard ids,
+  content digest); keys spread within a generous balance bound; removing
+  a shard moves *only* that shard's keys; adding it back restores the
+  original placement exactly,
+* seeded :class:`~repro.faults.FaultPlan` shard-loss drills against a
+  live :class:`~repro.service.FleetCoordinator` — transient injected
+  faults stay typed errors on live shards (no spurious rebalance), a
+  hard-killed shard is detected and its keys reroute to the
+  deterministic successor, and every verdict delivered before, during,
+  and after the loss/revival cycle is byte-identical to the serial
+  :class:`~repro.core.EnGarde` oracle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EnGarde
+from repro.errors import FleetError
+from repro.faults import FaultPlan, injected
+from repro.faults.chaos import _TYPED_ERROR
+from repro.service import (
+    ConsistentHashRing,
+    FleetCoordinator,
+    generate_variant_corpus,
+)
+
+#: no test in this battery may wall-block longer than this (hang bound)
+MAX_WALL_SECONDS = 120.0
+
+shard_ids = st.lists(
+    st.text(alphabet="abcdefgh0123456789-", min_size=1, max_size=12),
+    min_size=1, max_size=8, unique=True,
+)
+digests = st.binary(min_size=4, max_size=64).map(
+    lambda b: hashlib.sha256(b).hexdigest()
+)
+
+
+# ------------------------------------------------------------ ring properties
+
+
+class TestRingProperties:
+    @given(ids=shard_ids, digest=digests)
+    @settings(max_examples=100, deadline=None)
+    def test_placement_is_deterministic(self, ids, digest):
+        a = ConsistentHashRing(ids)
+        b = ConsistentHashRing(reversed(ids))  # insertion order irrelevant
+        assert a.locate(digest) == b.locate(digest)
+        assert a.locate(digest) in ids
+
+    @given(ids=shard_ids, digest=digests)
+    @settings(max_examples=60, deadline=None)
+    def test_remove_moves_only_the_lost_shards_keys(self, ids, digest):
+        ring = ConsistentHashRing(ids)
+        owner = ring.locate(digest)
+        victim = sorted(ids)[0]
+        ring.remove(victim)
+        if not len(ring):
+            with pytest.raises(FleetError):
+                ring.locate(digest)
+            return
+        after = ring.locate(digest)
+        if owner != victim:
+            assert after == owner, "a surviving shard's key must not move"
+        else:
+            assert after != victim
+
+    @given(ids=shard_ids, digest=digests)
+    @settings(max_examples=60, deadline=None)
+    def test_add_back_restores_original_placement(self, ids, digest):
+        ring = ConsistentHashRing(ids)
+        before = ring.locate(digest)
+        victim = sorted(ids)[len(ids) // 2]
+        ring.remove(victim)
+        ring.add(victim)
+        assert ring.locate(digest) == before
+
+    @given(ids=shard_ids, new_id=st.text(
+        alphabet="xyz", min_size=13, max_size=16
+    ), digest=digests)
+    @settings(max_examples=60, deadline=None)
+    def test_add_moves_keys_only_to_the_new_shard(self, ids, new_id, digest):
+        ring = ConsistentHashRing(ids)
+        before = ring.locate(digest)
+        ring.add(new_id)
+        after = ring.locate(digest)
+        assert after in (before, new_id), (
+            "adding a shard must never shuffle keys between old shards"
+        )
+
+    def test_balance_within_bound(self):
+        """With 64 vnodes per shard, 4 shards over 600 seeded digests
+        each own a sane share — no shard starves, none hogs."""
+        ids = [f"shard-{i}" for i in range(4)]
+        ring = ConsistentHashRing(ids)
+        counts = dict.fromkeys(ids, 0)
+        for i in range(600):
+            digest = hashlib.sha256(b"key-%d" % i).hexdigest()
+            counts[ring.locate(digest)] += 1
+        for sid, count in counts.items():
+            share = count / 600
+            assert 0.05 <= share <= 0.55, (
+                f"{sid} owns {share:.0%} of keys: {counts}"
+            )
+
+    def test_empty_ring_is_a_typed_error(self):
+        ring = ConsistentHashRing([])
+        with pytest.raises(FleetError):
+            ring.locate("ab" * 32)
+        with pytest.raises(FleetError):
+            ConsistentHashRing([], replicas=0)
+
+    def test_idempotent_add_remove(self):
+        ring = ConsistentHashRing(["a", "b"])
+        points = ring.as_dict()["points"]
+        ring.add("a")
+        assert ring.as_dict()["points"] == points
+        ring.remove("missing")
+        assert ring.ids() == ("a", "b")
+
+
+# --------------------------------------------------------------- coordinator
+
+
+CORPUS_SIZE = 9
+
+
+@pytest.fixture(scope="module")
+def corpus(libc):
+    return generate_variant_corpus(CORPUS_SIZE, libc=libc)
+
+
+@pytest.fixture(scope="module")
+def oracle(corpus, all_policies):
+    engarde = EnGarde(all_policies)
+    return {
+        label: engarde.inspect(raw, benchmark=label).report.serialize()
+        for label, raw in corpus
+    }
+
+
+def make_fleet(policies, **overrides) -> FleetCoordinator:
+    kwargs = dict(
+        shards=3,
+        pool_size=1,
+        rsa_bits=768,
+        heap_pages=64,
+        client_pages=64,
+        enclave_pages=0x2000,
+        read_timeout=30.0,
+        client_timeout=30.0,
+        max_connections=32,
+    )
+    kwargs.update(overrides)
+    return FleetCoordinator(policies, **kwargs)
+
+
+def submit_all(fleet, corpus):
+    return [(label, fleet.submit(raw, label)) for label, raw in corpus]
+
+
+class TestCoordinator:
+    def test_every_verdict_matches_the_serial_oracle(
+        self, all_policies, corpus, oracle
+    ):
+        with make_fleet(all_policies) as fleet:
+            for label, verdict in submit_all(fleet, corpus):
+                assert verdict.report is not None, (label, verdict.error)
+                assert verdict.wire == oracle[label]
+
+    def test_placement_is_by_content_digest(self, all_policies, corpus):
+        with make_fleet(all_policies) as fleet:
+            for _, raw in corpus:
+                sid = fleet.shard_for(raw)
+                assert sid == fleet.ring.locate(
+                    hashlib.sha256(raw).hexdigest()
+                )
+
+    def test_unknown_shard_id_is_typed(self, all_policies):
+        with make_fleet(all_policies, shards=1) as fleet:
+            with pytest.raises(FleetError):
+                fleet.kill_shard("shard-9")
+        with pytest.raises(FleetError):
+            make_fleet(all_policies, shards=0)
+
+    def test_shard_identity_shows_in_daemon_status(self, all_policies):
+        with make_fleet(all_policies, shards=2) as fleet:
+            doc = fleet.shards["shard-1"].daemon.status()
+            assert doc["shard"] == {
+                "fleeted": True, "shard_id": "shard-1",
+                "shard_index": 1, "fleet_size": 2,
+            }
+
+    def test_all_shards_dead_is_a_typed_fleet_error(
+        self, all_policies, corpus
+    ):
+        with make_fleet(all_policies, shards=1) as fleet:
+            fleet.kill_shard("shard-0")
+            label, raw = corpus[0]
+            verdict = fleet.submit(raw, label)
+            assert verdict.report is None
+            assert verdict.error is not None
+            assert _TYPED_ERROR.match(verdict.error), verdict.error
+            assert "FleetError" in verdict.error
+
+
+class TestCrashRebalance:
+    def test_kill_reroute_revive_byte_identical(
+        self, all_policies, corpus, oracle
+    ):
+        """The full loss drill: healthy pass, hard-kill a shard, every
+        submission still answers byte-identically (rerouted to the
+        deterministic successor), revive, placement and verdicts revert."""
+        t0 = time.monotonic()
+        with make_fleet(all_policies) as fleet:
+            placement = {
+                label: fleet.shard_for(raw) for label, raw in corpus
+            }
+            for label, verdict in submit_all(fleet, corpus):
+                assert verdict.wire == oracle[label]
+
+            victim = fleet.shard_for(corpus[0][1])
+            fleet.kill_shard(victim)
+            assert fleet.detect_losses() == [victim]
+            assert victim not in fleet.live_shards()
+
+            for label, verdict in submit_all(fleet, corpus):
+                assert verdict.report is not None, (label, verdict.error)
+                assert verdict.wire == oracle[label]
+                owner = fleet.shard_for(corpus_raw(corpus, label))
+                assert owner != victim
+                if placement[label] != victim:
+                    assert owner == placement[label], (
+                        "a surviving shard's key must not move"
+                    )
+
+            fleet.revive_shard(victim)
+            assert victim in fleet.live_shards()
+            for label, raw in corpus:
+                assert fleet.shard_for(raw) == placement[label]
+            for label, verdict in submit_all(fleet, corpus):
+                assert verdict.wire == oracle[label]
+        assert time.monotonic() - t0 < MAX_WALL_SECONDS, "drill hung"
+
+    def test_loss_detected_mid_submission_reroutes(
+        self, all_policies, corpus, oracle
+    ):
+        """No explicit detect_losses(): the first submission that needs
+        the dead shard discovers the loss and reroutes itself."""
+        with make_fleet(all_policies) as fleet:
+            victim = fleet.shard_for(corpus[0][1])
+            fleet.kill_shard(victim)
+            for label, verdict in submit_all(fleet, corpus):
+                assert verdict.report is not None, (label, verdict.error)
+                assert verdict.wire == oracle[label]
+            assert victim not in fleet.live_shards()
+            counters = fleet.status()["counters"]
+            assert counters["shards_lost"] == 1
+            assert counters["losses"] == [victim]
+            assert counters["reroutes"] >= 1
+
+    def test_seeded_faults_stay_typed_and_never_rebalance(
+        self, all_policies, corpus, oracle
+    ):
+        """PR 4 fault vocabulary against live shards: every failure is a
+        typed error (fail closed), every success is byte-identical, and
+        transient faults never get a shard marked lost."""
+        t0 = time.monotonic()
+        plan = FaultPlan.randomized(
+            1309,
+            hooks=(
+                "net.sock.send", "net.sock.recv",
+                "crypto.channel.send", "crypto.channel.recv",
+            ),
+            kinds=("raise", "truncate", "bitflip", "drop"),
+            n_specs=4,
+            probability=0.15,
+        )
+        with make_fleet(all_policies) as fleet:
+            with injected(plan):
+                results = [
+                    (label, fleet.submit(raw, label))
+                    for label, raw in corpus * 3
+                ]
+            for label, verdict in results:
+                if verdict.report is not None:
+                    assert verdict.wire == oracle[label]
+                else:
+                    assert verdict.error is not None
+                    assert _TYPED_ERROR.match(verdict.error), verdict.error
+            assert len(fleet.live_shards()) == 3, (
+                "transient faults must never cost a live shard its ring slot"
+            )
+            # the fleet recovers fully once the plan is lifted
+            for label, verdict in submit_all(fleet, corpus):
+                assert verdict.wire == oracle[label]
+        assert time.monotonic() - t0 < MAX_WALL_SECONDS, "fault drill hung"
+
+    def test_seeded_fault_drill_is_reproducible(
+        self, all_policies, corpus
+    ):
+        """Same seed, same corpus, fresh fleet: the drill's outcome
+        labels (delivered vs typed-error) replay identically."""
+
+        def run() -> list[tuple[str, bool]]:
+            plan = FaultPlan.randomized(
+                7411,
+                hooks=("crypto.channel.send", "crypto.channel.recv"),
+                kinds=("raise", "bitflip"),
+                n_specs=3,
+                probability=0.2,
+            )
+            with make_fleet(all_policies, shards=2) as fleet:
+                with injected(plan):
+                    return [
+                        (label, fleet.submit(raw, label).report is not None)
+                        for label, raw in corpus
+                    ]
+
+        assert run() == run()
+
+
+def corpus_raw(corpus, label: str) -> bytes:
+    return next(raw for lab, raw in corpus if lab == label)

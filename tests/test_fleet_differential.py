@@ -1,0 +1,168 @@
+"""Differential oracle for the sharded fleet: byte-identical or bust.
+
+The fleet adds consistent hashing, shard fail-over, and a durable
+store under the daemon path — none of which may change a single verdict
+byte.  This battery routes the 52-variant corpus (compliant, policy-
+rejected, structurally-rejected, duplicates) through a 1-shard and a
+4-shard fleet and pins every delivered verdict wire byte-identical to
+the serial :class:`~repro.core.EnGarde` oracle:
+
+* cold — fresh fleet, fresh store directory: every unique binary pays
+  real inspection on the shard that owns its digest,
+* store-warm restart — the fleet is torn down and rebuilt over the same
+  directory: every verdict must come back from the tiered cache (zero
+  inspections) and still match the oracle byte-for-byte,
+* a light concurrent storm cross-checks that client parallelism does
+  not perturb the wire either.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EnGarde
+from repro.service import (
+    FleetCoordinator,
+    VerdictStore,
+    generate_variant_corpus,
+    run_fleet_storm,
+)
+
+CORPUS_SIZE = 52
+
+
+@pytest.fixture(scope="module")
+def corpus(libc):
+    return generate_variant_corpus(CORPUS_SIZE, libc=libc)
+
+
+@pytest.fixture(scope="module")
+def oracle(corpus, all_policies):
+    """Serial single-EnGarde verdict wires: the ground truth."""
+    engarde = EnGarde(all_policies)
+    return {
+        label: engarde.inspect(raw, benchmark=label).report.serialize()
+        for label, raw in corpus
+    }
+
+
+def make_fleet(policies, shards: int, store_dir) -> FleetCoordinator:
+    fleet = FleetCoordinator(
+        policies,
+        shards=shards,
+        store=VerdictStore(store_dir, fsync=False),
+        pool_size=1,
+        rsa_bits=768,
+        heap_pages=64,
+        client_pages=64,
+        enclave_pages=0x2000,
+        read_timeout=30.0,
+        client_timeout=30.0,
+        max_connections=32,
+    )
+    fleet.start()
+    return fleet
+
+
+def run_corpus(fleet, corpus) -> list[tuple[str, object]]:
+    return [(label, fleet.submit(raw, label)) for label, raw in corpus]
+
+
+def assert_byte_identical(results, oracle) -> dict:
+    sources: dict[str, int] = {}
+    for label, verdict in results:
+        assert verdict.report is not None, (label, verdict.error)
+        assert verdict.wire == oracle[label], (
+            f"{label}: fleet wire diverged from the serial oracle"
+        )
+        sources[verdict.source] = sources.get(verdict.source, 0) + 1
+    return sources
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+class TestFleetDifferential:
+    def test_cold_then_store_warm_restart(
+        self, tmp_path, all_policies, corpus, oracle, shards
+    ):
+        store_dir = tmp_path / f"store-{shards}"
+
+        fleet = make_fleet(all_policies, shards, store_dir)
+        try:
+            cold_sources = assert_byte_identical(
+                run_corpus(fleet, corpus), oracle
+            )
+            status = fleet.status()
+            assert len(status["live_shards"]) == shards
+            store_blobs = status["store"]["blobs"]
+        finally:
+            fleet.stop()
+        assert cold_sources.get("inspected", 0) > 0, (
+            "a cold fleet must actually inspect"
+        )
+        assert store_blobs > 0, "cold verdicts must be published durably"
+
+        # the restart: new daemons, new pools, empty memory tiers — the
+        # only carried state is the store directory
+        fleet = make_fleet(all_policies, shards, store_dir)
+        try:
+            warm_sources = assert_byte_identical(
+                run_corpus(fleet, corpus), oracle
+            )
+            recovered = fleet.status()["store"]["recovered"]
+        finally:
+            fleet.stop()
+        assert recovered == store_blobs, (
+            "restart recovery must re-validate every published blob"
+        )
+        assert warm_sources == {"cache": len(corpus)}, (
+            f"store-warm restart must serve everything from the tiered "
+            f"cache, got {warm_sources}"
+        )
+
+    def test_concurrent_storm_matches_oracle(
+        self, tmp_path, all_policies, corpus, oracle, shards
+    ):
+        fleet = make_fleet(
+            all_policies, shards, tmp_path / f"storm-{shards}"
+        )
+        try:
+            result = run_fleet_storm(
+                fleet, corpus, clients=8, per_client=10, oracle=oracle,
+            )
+        finally:
+            fleet.stop()
+        assert result["divergences"] == 0, result["failures"]
+        assert result["typed_failures"] == 0, result["failures"]
+        assert result["hung_clients"] == []
+        assert result["worker_errors"] == []
+
+
+def test_one_and_four_shard_fleets_agree(
+    tmp_path, all_policies, corpus, oracle
+):
+    """Topology must be invisible in the wire: the same corpus through
+    1 shard and through 4 shards produces identical bytes per label."""
+    wires: dict[int, dict[str, bytes]] = {}
+    for shards in (1, 4):
+        fleet = make_fleet(all_policies, shards, tmp_path / f"agree-{shards}")
+        try:
+            wires[shards] = {
+                label: verdict.wire
+                for label, verdict in run_corpus(fleet, corpus)
+            }
+        finally:
+            fleet.stop()
+    assert wires[1] == wires[4]
+    assert wires[1] == oracle
+
+
+def test_four_shard_placement_actually_spreads(
+    tmp_path, all_policies, corpus
+):
+    """Sanity: the 52-variant corpus does not all land on one shard."""
+    fleet = make_fleet(all_policies, 4, tmp_path / "spread")
+    try:
+        owners = {fleet.shard_for(raw) for _, raw in corpus}
+    finally:
+        fleet.stop()
+    assert len(owners) >= 3, f"corpus only reached shards {sorted(owners)}"
