@@ -220,6 +220,9 @@ def _serve(args) -> int:
             enclave_pages=0x2000,
             read_timeout=args.read_timeout,
             max_connections=args.max_connections,
+            inspector_mode=args.inspector_mode,
+            workers=args.workers,
+            scheduler=args.scheduler,
         )
         fleet.start()
         endpoints = fleet.start_tcp(args.host)
@@ -264,6 +267,7 @@ def _serve(args) -> int:
         max_connections=args.max_connections,
         retries=args.retries,
         quarantine_threshold=args.quarantine_threshold,
+        scheduler=args.scheduler,
     )
     host, port = daemon.start_tcp(args.host, args.port)
     print(json.dumps(daemon.announce()), flush=True)
@@ -454,6 +458,15 @@ def main(argv: list[str] | None = None) -> int:
              "instead of the zero-copy shared-memory arena",
     )
     batch_group.add_argument(
+        "--scheduler", default="per-item",
+        choices=["per-item", "adaptive"],
+        help="dispatch granularity: 'per-item' submits one future per "
+             "unique binary (the frozen oracle); 'adaptive' inlines "
+             "tiny binaries, micro-batches small ones, and extent-"
+             "splits huge ones (REPRO_SCHED_* env knobs tune the "
+             "thresholds); also honored by 'serve'",
+    )
+    batch_group.add_argument(
         "--repeats", type=_positive_int, default=2,
         help="times the fleet is re-submitted (passes after the first "
              "hit the verdict cache)",
@@ -590,6 +603,7 @@ def main(argv: list[str] | None = None) -> int:
             shared_memory=not args.no_shared_memory,
             repeats=args.repeats,
             timeout=args.timeout,
+            scheduler=args.scheduler,
         )
         payload = report.to_json()
         print(payload)

@@ -31,7 +31,7 @@ from ...x86 import Imm, Instruction, Mem
 from ...x86.registers import Reg
 from ..policy import PolicyContext, PolicyModule, PolicyResult
 
-__all__ = ["IfccPolicy", "JUMP_TABLE_PREFIX"]
+__all__ = ["IfccPolicy", "JUMP_TABLE_PREFIX", "walk_call_site"]
 
 JUMP_TABLE_PREFIX = "__llvm_jump_instr_table_0_"
 _ENTRY_SIZE = 8
@@ -118,79 +118,97 @@ class IfccPolicy(PolicyModule):
         self, ctx: PolicyContext, idx: int, table_range: tuple[int, int]
     ) -> bool:
         """Walk backward over add/and/sub/lea verifying register dataflow."""
-        meter = ctx.meter
-        call = ctx.instructions[idx]
-        target = call.operands[0] if call.operands else None
-        if not isinstance(target, Reg):
-            return False  # memory-indirect calls are never IFCC-emitted
+        ok, steps = walk_call_site(
+            ctx.instructions, idx, table_range, self.backward_window
+        )
+        if steps:
+            ctx.meter.charge("policy_compare", steps)
+        return ok
 
-        table_start, table_end = table_range
-        ptr = target  # e.g. %rcx
-        base: Reg | None = None
-        mask_value: int | None = None
-        state = "add"  # expected next (walking backward): add, and, sub, lea
-        # One comparison per backward step; accumulated and flushed in one
-        # charge whichever way the walk exits.
-        steps = 0
-        try:
-            for back in range(idx - 1, max(idx - 1 - self.backward_window, -1), -1):
-                steps += 1
-                insn = ctx.instructions[back]
-                if insn.mnemonic in ("nop", "nopl"):
-                    continue
-                if state == "add":
-                    # add %base,%ptr
-                    if (insn.mnemonic == "add" and len(insn.operands) == 2
-                            and isinstance(insn.operands[0], Reg)
-                            and isinstance(insn.operands[1], Reg)
-                            and insn.operands[1].num == ptr.num):
-                        base = insn.operands[0]
-                        state = "and"
-                        continue
-                    return False
-                if state == "and":
-                    # and $mask,%ptr
-                    if (insn.mnemonic == "and" and len(insn.operands) == 2
-                            and isinstance(insn.operands[0], Imm)
-                            and isinstance(insn.operands[1], Reg)
-                            and insn.operands[1].num == ptr.num):
-                        mask_value = insn.operands[0].value
-                        state = "sub"
-                        continue
-                    return False
-                if state == "sub":
-                    # sub %base(32),%ptr(32)
-                    if (insn.mnemonic == "sub" and len(insn.operands) == 2
-                            and isinstance(insn.operands[0], Reg)
-                            and isinstance(insn.operands[1], Reg)
-                            and base is not None
-                            and insn.operands[0].num == base.num
-                            and insn.operands[1].num == ptr.num):
-                        state = "lea"
-                        continue
-                    return False
-                if state == "lea":
-                    # lea table(%rip),%base
-                    if (insn.mnemonic == "lea" and len(insn.operands) == 2
-                            and isinstance(insn.operands[0], Mem)
-                            and insn.operands[0].rip_relative
-                            and isinstance(insn.operands[1], Reg)
-                            and base is not None
-                            and insn.operands[1].num == base.num):
-                        lea_target = insn.end + insn.operands[0].disp
-                        if lea_target != table_start:
-                            return False
-                        if mask_value != (table_end - table_start) - _ENTRY_SIZE:
-                            return False
-                        return True
-                    # tolerate the pointer load interleaved in the chain
-                    if _writes_reg(insn, ptr) or (base is not None and _writes_reg(insn, base)):
-                        return False
-                    continue
-            return False
-        finally:
-            if steps:
-                meter.charge("policy_compare", steps)
+
+def walk_call_site(
+    instructions: list[Instruction],
+    idx: int,
+    table_range: tuple[int, int],
+    backward_window: int,
+) -> tuple[bool, int]:
+    """The IFCC backward dataflow walk, meter-free.
+
+    Returns ``(protected, steps)`` where *steps* is the number of
+    backward comparisons the walk performed — the caller charges
+    ``policy_compare`` with it (one charge per call site, whichever way
+    the walk exits).  Factored out of :meth:`IfccPolicy._check_call_site`
+    so the extent-split merge can re-run boundary-straddling walks over
+    a stitched window with provably identical semantics.
+    """
+    call = instructions[idx]
+    target = call.operands[0] if call.operands else None
+    if not isinstance(target, Reg):
+        return False, 0  # memory-indirect calls are never IFCC-emitted
+
+    table_start, table_end = table_range
+    ptr = target  # e.g. %rcx
+    base: Reg | None = None
+    mask_value: int | None = None
+    state = "add"  # expected next (walking backward): add, and, sub, lea
+    # One comparison per backward step; counted and returned whichever
+    # way the walk exits.
+    steps = 0
+    for back in range(idx - 1, max(idx - 1 - backward_window, -1), -1):
+        steps += 1
+        insn = instructions[back]
+        if insn.mnemonic in ("nop", "nopl"):
+            continue
+        if state == "add":
+            # add %base,%ptr
+            if (insn.mnemonic == "add" and len(insn.operands) == 2
+                    and isinstance(insn.operands[0], Reg)
+                    and isinstance(insn.operands[1], Reg)
+                    and insn.operands[1].num == ptr.num):
+                base = insn.operands[0]
+                state = "and"
+                continue
+            return False, steps
+        if state == "and":
+            # and $mask,%ptr
+            if (insn.mnemonic == "and" and len(insn.operands) == 2
+                    and isinstance(insn.operands[0], Imm)
+                    and isinstance(insn.operands[1], Reg)
+                    and insn.operands[1].num == ptr.num):
+                mask_value = insn.operands[0].value
+                state = "sub"
+                continue
+            return False, steps
+        if state == "sub":
+            # sub %base(32),%ptr(32)
+            if (insn.mnemonic == "sub" and len(insn.operands) == 2
+                    and isinstance(insn.operands[0], Reg)
+                    and isinstance(insn.operands[1], Reg)
+                    and base is not None
+                    and insn.operands[0].num == base.num
+                    and insn.operands[1].num == ptr.num):
+                state = "lea"
+                continue
+            return False, steps
+        if state == "lea":
+            # lea table(%rip),%base
+            if (insn.mnemonic == "lea" and len(insn.operands) == 2
+                    and isinstance(insn.operands[0], Mem)
+                    and insn.operands[0].rip_relative
+                    and isinstance(insn.operands[1], Reg)
+                    and base is not None
+                    and insn.operands[1].num == base.num):
+                lea_target = insn.end + insn.operands[0].disp
+                if lea_target != table_start:
+                    return False, steps
+                if mask_value != (table_end - table_start) - _ENTRY_SIZE:
+                    return False, steps
+                return True, steps
+            # tolerate the pointer load interleaved in the chain
+            if _writes_reg(insn, ptr) or (base is not None and _writes_reg(insn, base)):
+                return False, steps
+            continue
+    return False, steps
 
 
 def _writes_reg(insn: Instruction, reg: Reg) -> bool:

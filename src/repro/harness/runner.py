@@ -202,6 +202,7 @@ def run_batch(
     cache_capacity: int = 1024,
     timeout: float | None = None,
     policy_options: dict | None = None,
+    scheduler: str = "per-item",
 ):
     """Drive the batch inspection service over the paper workloads.
 
@@ -228,5 +229,6 @@ def run_batch(
         shared_memory=shared_memory,
         cache_capacity=cache_capacity,
         timeout=timeout,
+        scheduler=scheduler,
     ) as inspector:
         return inspector.inspect_batch(corpus)

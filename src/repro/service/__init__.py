@@ -48,6 +48,7 @@ from .daemon import ZERO_SHARD, InspectionDaemon
 from .fleet import ConsistentHashRing, FleetCoordinator, run_fleet_storm
 from .metrics import DaemonMetrics, LatencyHistogram
 from .pool import EnclavePool, PooledEnclave
+from .sched import SCHEDULERS, ZERO_SCHED, AdaptiveScheduler, DispatchPlan
 from .shm import ArenaTicket, SharedArena
 from .store import (
     ZERO_STORE,
@@ -68,4 +69,5 @@ __all__ = [
     "VerdictStore", "TieredCache", "TieredProvisioningVerdictCache",
     "ZERO_STORE",
     "FleetCoordinator", "ConsistentHashRing", "run_fleet_storm",
+    "AdaptiveScheduler", "DispatchPlan", "SCHEDULERS", "ZERO_SCHED",
 ]

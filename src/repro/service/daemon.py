@@ -64,6 +64,7 @@ from .batch import BatchInspector, BatchItemResult
 from .cache import InspectionCache, ProvisioningVerdictCache
 from .metrics import DaemonMetrics
 from .pool import EnclavePool, PooledEnclave
+from .sched import ZERO_SCHED
 from .store import ZERO_STORE
 
 __all__ = ["InspectionDaemon", "ZERO_SHARD"]
@@ -150,6 +151,7 @@ class InspectionDaemon:
         retries: int = 0,
         deadline: float | None = None,
         quarantine_threshold: int | None = None,
+        scheduler: str = "per-item",
         clock: Clock | None = None,
         rng: HmacDrbg | None = None,
         metrics: DaemonMetrics | None = None,
@@ -189,6 +191,7 @@ class InspectionDaemon:
             deadline=deadline,
             quarantine_threshold=quarantine_threshold,
             clock=self.clock,
+            scheduler=scheduler,
         )
         if inspector is not None and inspector.cache is not None:
             self.cache = inspector.cache
@@ -216,6 +219,11 @@ class InspectionDaemon:
         self._connections: dict[int, _Connection] = {}
         self._conn_seq = 0
         self._inspect_lock = threading.Lock()
+        #: cumulative dispatch accounting merged from every batch this
+        #: daemon ran — always the full ``ZERO_SCHED`` key set
+        self._dispatch_totals = dict(ZERO_SCHED)
+        self._dispatch_totals["scheduler"] = self.inspector.scheduler
+        self._dispatch_lock = threading.Lock()
         self._started_at = time.monotonic()
 
     # ------------------------------------------------------------ lifecycle
@@ -600,6 +608,7 @@ class InspectionDaemon:
             # threads fan submissions across the worker pool concurrently
             report = self.inspector.inspect_batch([(label, raw)])
         self.metrics.observe("inspect", time.perf_counter() - t0)
+        self._merge_dispatch(report.summary.dispatch)
         item = report.results[0]
         if item.error is not None:
             self.metrics.inc("submits.errors")
@@ -653,6 +662,25 @@ class InspectionDaemon:
             enclave_pages=self.pool.enclave_pages,
         )
 
+    def _merge_dispatch(self, dispatch: dict) -> None:
+        """Fold one batch's dispatch block into the cumulative totals."""
+        with self._dispatch_lock:
+            totals = self._dispatch_totals
+            for key, value in dispatch.items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                if key == "break_even_seconds":
+                    totals[key] = value  # latest model estimate, not a sum
+                else:
+                    totals[key] = round(totals[key] + value, 6)
+
+    def sched_info(self) -> dict:
+        """Always-present dispatch accounting (``ZERO_SCHED`` schema)."""
+        with self._dispatch_lock:
+            return dict(self._dispatch_totals)
+
     def shard_info(self) -> dict:
         """Always-present shard identity (``ZERO_SHARD`` when fleetless)."""
         if not self.shard_id and self.fleet_size == 0:
@@ -688,6 +716,7 @@ class InspectionDaemon:
             "cache_entries": len(self.cache) if self.cache is not None else 0,
             "shard": self.shard_info(),
             "store": self.store_info(),
+            "sched": self.sched_info(),
         }
 
     def metrics_snapshot(self) -> dict:
@@ -712,10 +741,12 @@ class InspectionDaemon:
             # The stable (always-present, zeroed when idle) resilience
             # schema BatchSummary shares; see docs/RESILIENCE.md.
             "resilience": self.inspector.resilience_stats(),
-            # Same pattern for fleet identity and the on-disk verdict
-            # store; see docs/FLEET.md.
+            # Same pattern for fleet identity, the on-disk verdict
+            # store, and scheduler dispatch accounting; see
+            # docs/FLEET.md and docs/PERFORMANCE.md.
             "shard": self.shard_info(),
             "store": self.store_info(),
+            "sched": self.sched_info(),
         }
         snap.update(self.metrics.snapshot())
         snap["status"] = self.status()

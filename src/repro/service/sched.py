@@ -1,0 +1,255 @@
+"""Adaptive dispatch planning for the batch inspection service.
+
+``BatchInspector`` historically submitted **one executor future per
+binary** regardless of size.  That is the right shape only in the
+middle of the size spectrum:
+
+* **tiny binaries** pay more for the submit/pickle/wake round-trip than
+  for their own inspection — the dispatch overhead dominates;
+* **huge binaries** serialize the whole batch behind one worker while
+  the other workers idle — the critical path is a single decode+scan.
+
+:class:`AdaptiveScheduler` picks a dispatch plan per submission from a
+running size/cost model:
+
+``inline``
+    run on the caller thread when the *parallel saving* of dispatching
+    (estimated cost × (workers-1)/workers) is below the measured
+    dispatch-overhead break-even.  With one worker every miss inlines —
+    dispatching can only lose.
+``micro-batch``
+    pack many small binaries into one executor task targeting
+    ``microbatch_bytes`` of payload per task; tickets stay per-binary
+    in the :class:`~repro.service.shm.SharedArena` and one task returns
+    a vector of frozen report wires.
+``extent-split``
+    partition one huge binary's text section along its function-extent
+    table and decode+scan extents on separate workers
+    (:mod:`repro.core.extent`), merging to a bit-identical verdict.
+
+The cost model is deliberately simple and observable: two EMAs (seconds
+per payload byte; seconds of per-future overhead) seeded from
+environment knobs and updated from every completed future.  All
+estimates, decisions, and measurements surface in the always-present
+``BatchSummary.dispatch`` block (schema :data:`ZERO_SCHED`), so the
+daemon's STATUS/METRICS consumers never need schema probes.
+
+Environment knobs (validated like ``REPRO_WORKERS``):
+
+``REPRO_SCHED_MICROBATCH_BYTES``
+    payload target per micro-batch task (default 262144).
+``REPRO_SCHED_SPLIT_BYTES``
+    text-size threshold above which a binary is considered for
+    extent-splitting (default 1048576).
+``REPRO_SCHED_BREAKEVEN_US``
+    seed estimate of per-future dispatch overhead in microseconds
+    before any measurement exists (default 500).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AdaptiveScheduler",
+    "DispatchPlan",
+    "ZERO_SCHED",
+    "DEFAULT_MICROBATCH_BYTES",
+    "DEFAULT_SPLIT_BYTES",
+    "DEFAULT_BREAKEVEN_US",
+    "SCHEDULERS",
+]
+
+SCHEDULERS = ("per-item", "adaptive")
+
+DEFAULT_MICROBATCH_BYTES = 256 * 1024
+DEFAULT_SPLIT_BYTES = 1024 * 1024
+DEFAULT_BREAKEVEN_US = 500
+
+#: seed for the seconds-per-byte cost EMA before any observation
+#: (~2 MB/s of inspection throughput, deliberately conservative so the
+#: first decisions lean toward dispatching rather than inlining)
+_SEED_COST_PER_BYTE = 5e-7
+#: EMA smoothing factor for runtime feedback
+_ALPHA = 0.2
+
+#: the always-present ``BatchSummary.dispatch`` schema.  Consumers
+#: (daemon STATUS/METRICS, fleet aggregation, benchmarks) rely on every
+#: key existing in every summary, zeroed when the scheduler did nothing
+#: — the same contract as ``ZERO_RESILIENCE`` / ``ZERO_SHARD``.
+ZERO_SCHED = {
+    "scheduler": "per-item",
+    "futures_submitted": 0,
+    "inlined": 0,
+    "micro_batched": 0,
+    "micro_batches": 0,
+    "extent_split": 0,
+    "extents_scanned": 0,
+    "split_fallbacks": 0,
+    "queue_wait_seconds": 0.0,
+    "break_even_seconds": 0.0,
+    "pickle_penalty_seconds": 0.0,
+}
+
+
+def _env_bytes(name: str, default: int) -> int:
+    """Parse a positive integer knob exactly like ``REPRO_WORKERS``."""
+    env = os.environ.get(name)
+    if env is None or not env.strip():
+        return default
+    try:
+        value = int(env)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a positive integer, got {env!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+@dataclass
+class DispatchPlan:
+    """One batch's dispatch decision, keyed by cache key."""
+
+    inline: list = field(default_factory=list)
+    #: groups of keys; a singleton group is an ordinary per-item future
+    groups: list = field(default_factory=list)
+    split: list = field(default_factory=list)
+
+    @property
+    def futures(self) -> int:
+        return len(self.groups)
+
+
+class AdaptiveScheduler:
+    """Per-submission dispatch planner with runtime cost feedback.
+
+    Thread-safe: daemon handler threads share one inspector, so plan
+    requests and observations may interleave.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int,
+        microbatch_bytes: int | None = None,
+        split_bytes: int | None = None,
+        breakeven_us: int | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.microbatch_bytes = (
+            _env_bytes("REPRO_SCHED_MICROBATCH_BYTES", DEFAULT_MICROBATCH_BYTES)
+            if microbatch_bytes is None else microbatch_bytes
+        )
+        self.split_bytes = (
+            _env_bytes("REPRO_SCHED_SPLIT_BYTES", DEFAULT_SPLIT_BYTES)
+            if split_bytes is None else split_bytes
+        )
+        seed_us = (
+            _env_bytes("REPRO_SCHED_BREAKEVEN_US", DEFAULT_BREAKEVEN_US)
+            if breakeven_us is None else breakeven_us
+        )
+        if self.microbatch_bytes < 1:
+            raise ValueError("microbatch_bytes must be >= 1")
+        if self.split_bytes < 1:
+            raise ValueError("split_bytes must be >= 1")
+        if seed_us < 1:
+            raise ValueError("breakeven_us must be >= 1")
+        self._lock = threading.Lock()
+        self._cost_per_byte = _SEED_COST_PER_BYTE
+        self._overhead = seed_us * 1e-6
+        self._queue_wait_total = 0.0
+        self._observations = 0
+
+    # ------------------------------------------------------------ planning
+
+    def estimate_cost(self, nbytes: int) -> float:
+        """Estimated inspection seconds for an *nbytes* submission."""
+        with self._lock:
+            return nbytes * self._cost_per_byte
+
+    @property
+    def break_even_seconds(self) -> float:
+        """Current estimate of one future's dispatch overhead."""
+        with self._lock:
+            return self._overhead
+
+    def should_inline(self, nbytes: int) -> bool:
+        """True when dispatching *nbytes* cannot pay for its overhead.
+
+        Dispatching wins only when the parallel saving — the work the
+        caller thread sheds, ``cost * (workers-1)/workers`` — exceeds
+        the per-future overhead.  With one worker the saving is zero
+        and every submission inlines.
+        """
+        with self._lock:
+            saving = nbytes * self._cost_per_byte
+            saving *= (self.workers - 1) / self.workers
+            return saving < self._overhead
+
+    def plan(self, sized: list) -> DispatchPlan:
+        """Partition ``[(key, nbytes), ...]`` misses into a dispatch plan.
+
+        Submission order is preserved within each lane so verdict
+        fan-out stays deterministic.
+        """
+        plan = DispatchPlan()
+        batchable: list = []
+        for key, nbytes in sized:
+            if nbytes >= self.split_bytes:
+                plan.split.append(key)
+            elif self.should_inline(nbytes):
+                plan.inline.append(key)
+            else:
+                batchable.append((key, nbytes))
+        group: list = []
+        group_bytes = 0
+        for key, nbytes in batchable:
+            group.append(key)
+            group_bytes += nbytes
+            if group_bytes >= self.microbatch_bytes:
+                plan.groups.append(group)
+                group, group_bytes = [], 0
+        if group:
+            plan.groups.append(group)
+        return plan
+
+    # ----------------------------------------------------------- feedback
+
+    def observe_work(self, nbytes: int, seconds: float) -> None:
+        """Fold one completed inspection into the cost-per-byte EMA."""
+        if nbytes <= 0 or seconds <= 0:
+            return
+        with self._lock:
+            sample = seconds / nbytes
+            self._cost_per_byte += _ALPHA * (sample - self._cost_per_byte)
+            self._observations += 1
+
+    def observe_dispatch(self, overhead: float, queue_wait: float) -> None:
+        """Fold one future's measured round-trip overhead into the EMA."""
+        with self._lock:
+            if overhead > 0:
+                self._overhead += _ALPHA * (overhead - self._overhead)
+            if queue_wait > 0:
+                self._queue_wait_total += queue_wait
+            self._observations += 1
+
+    # ------------------------------------------------------------ exports
+
+    def snapshot(self) -> dict:
+        """Model state for the ``dispatch`` accounting block."""
+        with self._lock:
+            return {
+                "break_even_seconds": self._overhead,
+                "queue_wait_seconds": self._queue_wait_total,
+                "cost_per_byte": self._cost_per_byte,
+                "observations": self._observations,
+                "microbatch_bytes": self.microbatch_bytes,
+                "split_bytes": self.split_bytes,
+                "workers": self.workers,
+            }

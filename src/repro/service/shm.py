@@ -44,7 +44,14 @@ from multiprocessing import shared_memory
 
 from ..errors import ArenaError
 
-__all__ = ["ArenaTicket", "SharedArena", "attach_view", "detach_all"]
+__all__ = [
+    "ArenaTicket",
+    "SharedArena",
+    "attach_view",
+    "attach_views",
+    "detach_all",
+    "publish_many",
+]
 
 #: slot header: magic(4) pad(4) generation(8) length(8) reserved(8)
 _HEADER = struct.Struct("<4s4xQQ8x")
@@ -293,6 +300,26 @@ class SharedArena:
             pass
 
 
+def publish_many(arena: SharedArena, payloads) -> list[ArenaTicket]:
+    """Publish a micro-batch of payloads, rolling back on failure.
+
+    Tickets stay **per-binary** — the micro-batched executor task
+    receives a vector of ordinary tickets, so timeout/zombie handling
+    and refcounting work per binary exactly as for per-item dispatch.
+    If any publish fails (arena closed, OS refuses memory) the tickets
+    already published are released before the error propagates.
+    """
+    tickets: list[ArenaTicket] = []
+    try:
+        for payload in payloads:
+            tickets.append(arena.publish(payload))
+    except Exception:
+        for ticket in tickets:
+            arena.release(ticket)
+        raise
+    return tickets
+
+
 # ------------------------------------------------------------- worker side
 
 #: segments this process has attached, by name — workers are long-lived,
@@ -348,6 +375,25 @@ def attach_view(ticket: ArenaTicket) -> memoryview:
         )
     start = ticket.offset + HEADER_SIZE
     return memoryview(shm.buf)[start:start + ticket.length]
+
+
+def attach_views(tickets) -> list[memoryview]:
+    """Map a micro-batch of tickets to payload views, all-or-nothing.
+
+    Either every ticket validates and every view is returned, or the
+    views attached so far are released and the offending ticket's
+    :class:`ArenaError` propagates — a partially-attached micro-batch
+    can never produce a partially-inspected verdict vector.
+    """
+    views: list[memoryview] = []
+    try:
+        for ticket in tickets:
+            views.append(attach_view(ticket))
+    except Exception:
+        for view in views:
+            view.release()
+        raise
+    return views
 
 
 def detach_all() -> None:

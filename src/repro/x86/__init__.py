@@ -7,7 +7,13 @@ policies to inspect — nothing in the pipeline operates on mocked bytes.
 """
 
 from .asm import BUNDLE_SIZE, Assembler, ExternalFixup, Label
-from .decoder import StreamDecoder, decode_all, decode_one, iter_decode
+from .decoder import (
+    StreamDecoder,
+    decode_all,
+    decode_extent,
+    decode_one,
+    iter_decode,
+)
 from .encoder import Enc
 from .insn import Imm, Instruction, Mem, Operand
 from .registers import (
@@ -29,7 +35,8 @@ from .validator import (
 __all__ = [
     "Assembler", "Label", "ExternalFixup", "BUNDLE_SIZE",
     "Enc",
-    "decode_one", "decode_all", "iter_decode", "StreamDecoder",
+    "decode_one", "decode_all", "decode_extent", "iter_decode",
+    "StreamDecoder",
     "Instruction", "Mem", "Imm", "Operand",
     "Reg", "reg_name", "reg_by_name", "GPR64", "GPR32",
     "RAX", "RCX", "RDX", "RBX", "RSP", "RBP", "RSI", "RDI",

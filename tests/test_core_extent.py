@@ -1,0 +1,295 @@
+"""Extent-split inspection must be indistinguishable from serial.
+
+The contract under test (see :mod:`repro.core.extent`): for ANY binary
+and ANY boundary set — function starts, arbitrary instruction
+boundaries, byte offsets that split instructions, degenerate one-part
+plans — ``inspect_extent_split`` produces the same report wire bytes
+and the same cumulative + per-phase CycleMeter ticks as
+``EnGarde.inspect``.  When the merge cannot reproduce the serial
+pipeline exactly it must *fall back* (and say why), never diverge.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import EnGarde, PolicyRegistry
+from repro.core.extent import (
+    DEFAULT_MIN_EXTENT_BYTES,
+    inspect_extent_split,
+    plan_extent_split,
+    scan_extent,
+)
+from repro.elf import read_elf
+from repro.faults import FaultPlan, FaultSpec, injected
+from repro.sgx.cpu import CycleMeter
+
+from tests.conftest import compile_demo
+
+
+@pytest.fixture(scope="module")
+def instrumented_elf(libc):
+    return compile_demo(libc, stack_protector=True, ifcc=True, name="ext").elf
+
+
+@pytest.fixture(scope="module")
+def plain_elf(libc):
+    return compile_demo(libc, name="extplain").elf
+
+
+def _meter_state(meter: CycleMeter):
+    return (
+        meter.total.cycles,
+        dict(meter.total.events),
+        {p: (b.cycles, dict(b.events)) for p, b in meter.phases.items()},
+    )
+
+
+def assert_equivalent(all_policies, raw, **split_kw):
+    """Serial vs extent-split: wire bytes + meter ticks, bit for bit."""
+    serial = EnGarde(all_policies, CycleMeter())
+    expected = serial.inspect(raw, benchmark="eq")
+    split = EnGarde(all_policies, CycleMeter())
+    result = inspect_extent_split(split, raw, benchmark="eq", **split_kw)
+    assert result.outcome.report.serialize() == expected.report.serialize()
+    assert _meter_state(split.meter) == _meter_state(serial.meter)
+    return result
+
+
+def _function_offsets(raw):
+    image = read_elf(raw)
+    text = image.text_sections[0]
+    return sorted(
+        {s.value - text.vaddr for s in image.function_symbols()}
+    ), len(text.data)
+
+
+# ------------------------------------------------------------ happy path
+
+
+def test_split_is_exact_and_actually_splits(all_policies, instrumented_elf):
+    result = assert_equivalent(
+        all_policies, instrumented_elf, parts=3, min_extent_bytes=16
+    )
+    assert result.split
+    assert result.extents >= 2
+
+
+def test_split_exact_on_noncompliant_binary(all_policies, plain_elf):
+    # plain build fails stack-protection: the failed-policy list, stats
+    # ordering, and policy-phase charges must all merge identically
+    result = assert_equivalent(
+        all_policies, plain_elf, parts=3, min_extent_bytes=16
+    )
+    assert result.split
+    assert not result.outcome.report.compliant
+
+
+def test_split_exact_for_every_part_count(all_policies, instrumented_elf):
+    for parts in (2, 3, 4, 7, 32):
+        assert_equivalent(
+            all_policies, instrumented_elf, parts=parts, min_extent_bytes=16
+        )
+
+
+def test_single_part_falls_back(all_policies, instrumented_elf):
+    result = assert_equivalent(all_policies, instrumented_elf, parts=1)
+    assert not result.split
+    assert result.fallback_reason is not None
+
+
+def test_fallback_reasons_are_reported(all_policies):
+    engarde = EnGarde(all_policies, CycleMeter())
+    result = inspect_extent_split(engarde, b"\x7fELF" + bytes(64))
+    assert not result.split
+    assert result.fallback_reason == "malformed ELF"
+
+
+# ------------------------------------------- arbitrary partitions (hypothesis)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_arbitrary_function_start_partitions(
+    all_policies, instrumented_elf, data
+):
+    """Any subset of the function-extent table is a valid partition."""
+    offsets, _ = _function_offsets(instrumented_elf)
+    interior = [o for o in offsets if o > 0]
+    boundaries = data.draw(st.lists(st.sampled_from(interior), max_size=6))
+    result = assert_equivalent(
+        all_policies, instrumented_elf, boundaries=boundaries
+    )
+    if len(set(boundaries)) >= 1:
+        # boundaries on function starts always stitch: no fallback
+        assert result.split
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_arbitrary_byte_boundaries_never_diverge(
+    all_policies, instrumented_elf, data
+):
+    """Byte offsets that split instructions or functions must fall back
+    (decode stitch check / extent-local scan check), never diverge."""
+    _, code_len = _function_offsets(instrumented_elf)
+    boundaries = data.draw(
+        st.lists(st.integers(min_value=0, max_value=code_len + 16), max_size=4)
+    )
+    assert_equivalent(all_policies, instrumented_elf, boundaries=boundaries)
+
+
+def test_instruction_boundary_mid_function_falls_back_exactly(
+    all_policies, instrumented_elf
+):
+    """An extent edge on an instruction boundary inside a *checked*
+    function decodes cleanly but makes that function's stack-protection
+    scan impossible — the merge must detect it and fall back, bit-exact.
+    (A cut inside an exempt libc function is harmless and may split.)"""
+    engarde = EnGarde(all_policies, CycleMeter())
+    disasm = engarde.disassembler.run(instrumented_elf)
+    main_start = next(
+        s.value - disasm.text_vaddr
+        for s in disasm.image.function_symbols() if s.name == "main"
+    )
+    idx = disasm.instructions.index(
+        next(i for i in disasm.instructions if i.offset == main_start)
+    )
+    mid_main = disasm.instructions[idx + 2].offset
+    result = assert_equivalent(
+        all_policies, instrumented_elf, boundaries=[mid_main]
+    )
+    assert not result.split
+
+
+# ------------------------------------------------------ corrupted binaries
+
+
+@pytest.mark.parametrize("stride", [211, 463])
+def test_corrupted_text_bytes_stay_exact(
+    all_policies, instrumented_elf, stride
+):
+    """Byte flips in the text section produce decode errors, validation
+    failures, and policy violations — every one must merge (or fall
+    back) to the exact serial verdict and charge sequence."""
+    image = read_elf(instrumented_elf)
+    text = bytes(image.text_sections[0].data)
+    base = instrumented_elf.find(text[:64])
+    assert base > 0
+    stages = set()
+    for rel in range(0, len(text), stride):
+        raw = bytearray(instrumented_elf)
+        raw[base + rel] ^= 0x9A
+        serial = EnGarde(all_policies, CycleMeter())
+        expected = serial.inspect(bytes(raw), benchmark="adv")
+        split = EnGarde(all_policies, CycleMeter())
+        result = inspect_extent_split(
+            split, bytes(raw), benchmark="adv", parts=3, min_extent_bytes=16
+        )
+        assert (result.outcome.report.serialize()
+                == expected.report.serialize())
+        assert _meter_state(split.meter) == _meter_state(serial.meter)
+        stages.add(expected.report.rejected_stage)
+    # the sweep must actually exercise rejection paths, not just accepts
+    assert "disasm" in stages
+
+
+# ----------------------------------------------------------- fail closed
+
+
+def test_decoder_fault_plan_disables_split(all_policies, instrumented_elf):
+    """A fault plan watching the decoder fires per-instruction hooks the
+    extent workers cannot replay: preflight must route serial."""
+    plan = FaultPlan(
+        [FaultSpec(hook="x86.decoder", kind="raise", after=10_000_000)]
+    )
+    engarde = EnGarde(all_policies, CycleMeter())
+    with injected(plan):
+        result = inspect_extent_split(engarde, instrumented_elf)
+    assert not result.split
+    assert result.fallback_reason == "decoder fault plan active"
+
+
+def test_worker_crash_in_one_extent_fails_closed(
+    all_policies, instrumented_elf
+):
+    """A crash while scanning one extent must propagate as a typed
+    error — never a partial or silently-serial verdict."""
+
+    class ExtentWorkerDied(RuntimeError):
+        pass
+
+    def crashing_run_scans(tasks):
+        scans = [
+            scan_extent(instrumented_elf, all_policies, t)
+            for t in tasks[:-1]
+        ]
+        raise ExtentWorkerDied(f"extent {tasks[-1]['index']} crashed")
+
+    engarde = EnGarde(all_policies, CycleMeter())
+    with pytest.raises(ExtentWorkerDied):
+        inspect_extent_split(
+            engarde, instrumented_elf, parts=3, min_extent_bytes=16,
+            run_scans=crashing_run_scans,
+        )
+
+
+def test_lost_scan_falls_back_not_partial(all_policies, instrumented_elf):
+    """A dropped (None) scan result is a fallback, not a partial merge."""
+    result = assert_equivalent(
+        all_policies, instrumented_elf, parts=3, min_extent_bytes=16,
+        run_scans=lambda tasks: [None] * len(tasks),
+    )
+    assert not result.split
+    assert result.fallback_reason == "scan task lost"
+
+
+# ----------------------------------------------------------- plan shape
+
+
+def test_plan_prefers_balanced_function_cuts(all_policies, instrumented_elf):
+    engarde = EnGarde(all_policies, CycleMeter())
+    image, plan = plan_extent_split(
+        engarde, instrumented_elf, parts=3, min_extent_bytes=16
+    )
+    assert image is not None
+    offsets, code_len = _function_offsets(instrumented_elf)
+    edges = [e for ext in plan.extents for e in ext]
+    assert edges[0] == 0 and edges[-1] == code_len
+    for _, cut in plan.extents[:-1]:
+        assert cut in offsets  # every interior edge is a function start
+
+
+def test_plan_respects_min_extent_bytes(all_policies, instrumented_elf):
+    engarde = EnGarde(all_policies, CycleMeter())
+    _, code_len = _function_offsets(instrumented_elf)
+    min_bytes = DEFAULT_MIN_EXTENT_BYTES
+    image, plan = plan_extent_split(
+        engarde, instrumented_elf, parts=4, min_extent_bytes=min_bytes,
+    )
+    offsets, _ = _function_offsets(instrumented_elf)
+    usable = [
+        o for o in offsets
+        if o >= min_bytes and code_len - o >= min_bytes
+    ]
+    if image is None:
+        assert not usable  # no function start leaves both halves big enough
+    else:
+        assert all(e - s >= min_bytes for s, e in plan.extents)
+
+
+def test_unoptimized_engine_never_splits(all_policies, instrumented_elf):
+    engarde = EnGarde(all_policies, CycleMeter(), optimized=False)
+    result = inspect_extent_split(engarde, instrumented_elf)
+    assert not result.split
+    assert result.fallback_reason == "reference (unoptimized) engine"

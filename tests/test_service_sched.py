@@ -1,0 +1,377 @@
+"""Adaptive scheduler: plan selection, knobs, and wire-exact dispatch.
+
+The contract: ``scheduler="adaptive"`` may change *how* verdicts are
+produced (inline / micro-batch / extent-split) but never *what* they
+are — every report wire and terminal error class matches the frozen
+``scheduler="per-item"`` oracle, and all dispatch activity surfaces in
+the always-present ``BatchSummary.dispatch`` block (``ZERO_SCHED``
+schema, pinned here like ``ZERO_RESILIENCE`` / ``ZERO_SHARD``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import FakeClock, FaultPlan, FaultSpec, injected
+from repro.service import BatchInspector
+from repro.service.corpus import generate_variant_corpus
+from repro.service.sched import (
+    DEFAULT_MICROBATCH_BYTES,
+    DEFAULT_SPLIT_BYTES,
+    ZERO_SCHED,
+    AdaptiveScheduler,
+)
+
+from tests.conftest import compile_demo
+
+
+@pytest.fixture(scope="module")
+def good_elf(libc):
+    return compile_demo(libc, stack_protector=True, ifcc=True, name="sched").elf
+
+
+@pytest.fixture(scope="module")
+def big_elf(libc):
+    """A binary large enough to clear the extent planner's 4KiB-per-
+    extent floor, so the split lane actually dispatches scan tasks."""
+    from repro.toolchain.workloads import build_workload
+
+    return build_workload(
+        "bzip2", scale=1.0, libc=libc, stack_protector=True, ifcc=True
+    ).elf
+
+
+@pytest.fixture(scope="module")
+def small_corpus(libc):
+    return generate_variant_corpus(12, libc=libc)
+
+
+def _wires(report):
+    return [
+        (r.label, r.report.serialize() if r.report else None, r.error)
+        for r in report.results
+    ]
+
+
+# -------------------------------------------------------- plan selection
+
+
+def test_single_worker_inlines_everything():
+    sched = AdaptiveScheduler(workers=1)
+    plan = sched.plan([("a", 100), ("b", 50_000), ("c", 200_000)])
+    # dispatching can never pay for itself with nobody to parallelize to
+    assert plan.inline == ["a", "b", "c"]
+    assert not plan.groups and not plan.split
+
+
+def test_huge_binaries_route_to_extent_split():
+    sched = AdaptiveScheduler(workers=4)
+    plan = sched.plan([("big", DEFAULT_SPLIT_BYTES), ("small", 8_192)])
+    assert plan.split == ["big"]
+    assert "big" not in [k for g in plan.groups for k in g]
+
+
+def test_micro_batches_target_payload_bytes():
+    sched = AdaptiveScheduler(workers=4)
+    item_bytes = DEFAULT_MICROBATCH_BYTES // 4
+    sized = [(f"k{i}", item_bytes) for i in range(12)]
+    plan = sched.plan(sized)
+    assert not plan.split
+    # groups pack to >= the target (except possibly the last)
+    assert all(len(g) == 4 for g in plan.groups[:-1])
+    assert [k for g in plan.groups for k in g] + plan.inline == [
+        k for k, _ in sized
+    ]
+
+
+def test_cost_feedback_moves_the_break_even():
+    sched = AdaptiveScheduler(workers=4)
+    before = sched.break_even_seconds
+    sched.observe_dispatch(overhead=10 * before, queue_wait=0.001)
+    assert sched.break_even_seconds > before
+    # and a very cheap measured cost makes small items inline-eligible
+    for _ in range(50):
+        sched.observe_work(1_000_000, 1e-6)
+    assert sched.should_inline(10_000)
+
+
+# ------------------------------------------------------------ env knobs
+
+
+def test_env_knobs_validated_like_repro_workers(monkeypatch, all_policies):
+    monkeypatch.setenv("REPRO_SCHED_MICROBATCH_BYTES", "not-a-number")
+    with pytest.raises(ValueError, match="REPRO_SCHED_MICROBATCH_BYTES"):
+        BatchInspector(all_policies, mode="process", scheduler="adaptive")
+    monkeypatch.setenv("REPRO_SCHED_MICROBATCH_BYTES", "0")
+    with pytest.raises(ValueError, match=">= 1"):
+        BatchInspector(all_policies, mode="process", scheduler="adaptive")
+    monkeypatch.setenv("REPRO_SCHED_MICROBATCH_BYTES", "65536")
+    monkeypatch.setenv("REPRO_SCHED_SPLIT_BYTES", "262144")
+    monkeypatch.setenv("REPRO_SCHED_BREAKEVEN_US", "250")
+    inspector = BatchInspector(
+        all_policies, mode="process", scheduler="adaptive"
+    )
+    assert inspector._sched.microbatch_bytes == 65536
+    assert inspector._sched.split_bytes == 262144
+    assert inspector._sched.break_even_seconds == pytest.approx(250e-6)
+    inspector.close()
+
+
+def test_unknown_scheduler_rejected(all_policies):
+    with pytest.raises(ValueError, match="scheduler"):
+        BatchInspector(all_policies, scheduler="psychic")
+
+
+# ------------------------------------------------- differential battery
+
+
+@pytest.mark.parametrize("mode,shm", [
+    ("process", True), ("process", False), ("thread", True),
+])
+def test_adaptive_matches_per_item_oracle(
+    all_policies, small_corpus, mode, shm
+):
+    """Full variant corpus, both schedulers, every executor flavour:
+    report wires are byte-identical and error labels agree."""
+    with BatchInspector(
+        all_policies, mode=mode, workers=2, shared_memory=shm, cache=False,
+    ) as per_item:
+        expected = _wires(per_item.inspect_batch(small_corpus))
+    with BatchInspector(
+        all_policies, mode=mode, workers=2, shared_memory=shm, cache=False,
+        scheduler="adaptive",
+    ) as adaptive:
+        report = adaptive.inspect_batch(small_corpus)
+    assert _wires(report) == expected
+    d = report.summary.dispatch
+    assert d["scheduler"] == "adaptive"
+    assert d["inlined"] + d["micro_batched"] + d["extent_split"] > 0
+
+
+def test_adaptive_split_lane_matches_oracle(
+    monkeypatch, all_policies, big_elf
+):
+    """Force the extent-split lane (tiny split threshold) and hold the
+    verdict wire identical to the per-item oracle."""
+    with BatchInspector(
+        all_policies, mode="process", workers=2, cache=False,
+    ) as per_item:
+        expected = _wires(per_item.inspect_batch([("x", big_elf)]))
+    monkeypatch.setenv("REPRO_SCHED_SPLIT_BYTES", str(len(big_elf)))
+    with BatchInspector(
+        all_policies, mode="process", workers=2, cache=False,
+        scheduler="adaptive",
+    ) as adaptive:
+        report = adaptive.inspect_batch([("x", big_elf)])
+    assert _wires(report) == expected
+    d = report.summary.dispatch
+    assert d["extent_split"] == 1
+    assert d["extents_scanned"] >= 2
+
+
+# --------------------------------------------------- timeouts / zombies
+
+
+def test_timed_out_micro_batch_zombies_every_ticket(all_policies, libc):
+    """A hung micro-batch worker may still be attached to *every* slot
+    in its group: all tickets park on the zombie list (bytes stay in
+    use), and close() reclaims them safely."""
+    corpus = [
+        (f"t{i}", compile_demo(libc, stack_protector=True, name=f"zb{i}").elf)
+        for i in range(3)
+    ]
+    inspector = BatchInspector(
+        all_policies, mode="process", workers=2, cache=False,
+        scheduler="adaptive", timeout=1e-6,
+    )
+    report = inspector.inspect_batch(corpus)
+    for item in report.results:
+        assert item.report is None
+        assert "timeout" in (item.error or "")
+    stats = inspector.arena_stats()
+    assert stats is not None and stats["bytes_in_use"] > 0
+    inspector.close()
+    assert inspector.arena_stats() is None
+
+    # the inspector recovers once the rush is off
+    inspector.timeout = None
+    again = inspector.inspect_batch(corpus)
+    assert all(r.report is not None for r in again.results)
+    inspector.close()
+
+
+# ----------------------------------------------------- fault-plan drills
+
+
+def test_extent_worker_fault_fails_the_verdict_closed(
+    monkeypatch, all_policies, big_elf
+):
+    """Seeded drill: a crash while scanning ONE extent of a split binary
+    must fail the whole verdict with a typed error — never a partial or
+    silently-recomputed verdict.  Reuses the existing
+    ``service.batch.worker`` hook; no new fault points."""
+    monkeypatch.setenv("REPRO_SCHED_SPLIT_BYTES", str(len(big_elf)))
+    clock = FakeClock()
+    plan = FaultPlan(
+        [FaultSpec(hook="service.batch.worker", kind="raise",
+                   after=1, max_triggers=1)],
+        clock=clock,
+    )
+    inspector = BatchInspector(
+        all_policies, mode="thread", workers=2, cache=False,
+        scheduler="adaptive", clock=clock,
+    )
+    with injected(plan):
+        report = inspector.inspect_batch([("x", big_elf)])
+    inspector.close()
+    item = report.results[0]
+    assert item.report is None
+    assert item.error is not None
+    assert item.error.startswith("WorkerCrashError:")
+    assert report.summary.errors == 1
+    assert report.summary.dispatch["futures_submitted"] >= 2
+
+
+def test_group_crash_reruns_members_per_item(all_policies, libc):
+    """A whole-group worker crash re-runs its members through the frozen
+    per-item path — one transient fault costs an extra round-trip, not
+    a batch of errors."""
+    corpus = [
+        (f"g{i}", compile_demo(libc, stack_protector=True, name=f"gc{i}").elf)
+        for i in range(3)
+    ]
+    clock = FakeClock()
+    plan = FaultPlan(
+        [FaultSpec(hook="service.batch.worker", kind="raise",
+                   after=0, max_triggers=1)],
+        clock=clock,
+    )
+    inspector = BatchInspector(
+        all_policies, mode="thread", workers=2, cache=False,
+        scheduler="adaptive", clock=clock,
+    )
+    with injected(plan):
+        report = inspector.inspect_batch(corpus)
+    inspector.close()
+    assert all(r.report is not None for r in report.results)
+    assert report.summary.errors == 0
+
+
+def test_inline_lane_honors_retries(all_policies, good_elf):
+    """The inline lane goes through the same retry/backoff machinery as
+    the serial driver — a transient crash recovers on retry with the
+    exact backoff schedule."""
+    clock = FakeClock()
+    plan = FaultPlan(
+        [FaultSpec(hook="service.batch.worker", kind="raise",
+                   after=0, max_triggers=1)],
+        clock=clock,
+    )
+    inspector = BatchInspector(
+        all_policies, mode="process", workers=1, cache=False,
+        scheduler="adaptive", retries=1, backoff_base=0.05, clock=clock,
+    )
+    with injected(plan):
+        report = inspector.inspect_batch([("a", good_elf)])
+    inspector.close()
+    item = report.results[0]
+    assert item.report is not None
+    assert report.summary.dispatch["inlined"] == 1
+    assert report.summary.resilience["retry_attempts"] == 1
+    assert clock.sleeps == [0.05]
+
+
+# --------------------------------------------------------- schema pins
+
+
+def test_dispatch_schema_is_stable(all_policies, good_elf):
+    """``summary.dispatch`` is ALWAYS present with the full ZERO_SCHED
+    key set — zeroed on the per-item/serial paths, live under adaptive —
+    so STATUS/METRICS consumers never branch on key presence."""
+    serial = BatchInspector(all_policies, mode="serial")
+    payload = json.loads(serial.inspect_batch([("a", good_elf)]).to_json())
+    assert payload["summary"]["dispatch"] == ZERO_SCHED
+
+    with BatchInspector(
+        all_policies, mode="process", workers=2, cache=False,
+    ) as per_item:
+        block = per_item.inspect_batch([("a", good_elf)]).summary.dispatch
+    assert set(block) == set(ZERO_SCHED)
+    assert block["scheduler"] == "per-item"
+    assert block["futures_submitted"] == 1
+
+    with BatchInspector(
+        all_policies, mode="process", workers=2, cache=False,
+        scheduler="adaptive",
+    ) as adaptive:
+        block = adaptive.inspect_batch([("a", good_elf)]).summary.dispatch
+    assert set(block) == set(ZERO_SCHED)
+    assert block["scheduler"] == "adaptive"
+
+    schema = {
+        "scheduler": str,
+        "futures_submitted": int, "inlined": int,
+        "micro_batched": int, "micro_batches": int,
+        "extent_split": int, "extents_scanned": int, "split_fallbacks": int,
+        "queue_wait_seconds": (int, float),
+        "break_even_seconds": (int, float),
+        "pickle_penalty_seconds": (int, float),
+    }
+    for candidate in (block, ZERO_SCHED):
+        assert set(candidate) == set(schema)
+        for key, types in schema.items():
+            assert isinstance(candidate[key], types), key
+
+
+def test_daemon_status_and_metrics_grow_sched_block(all_policies):
+    from tests.conftest import small_daemon
+
+    daemon = small_daemon(all_policies)
+    try:
+        assert daemon.status()["sched"] == ZERO_SCHED
+        assert daemon.metrics_snapshot()["sched"] == ZERO_SCHED
+    finally:
+        daemon.stop()
+
+    adaptive = small_daemon(all_policies, scheduler="adaptive")
+    try:
+        block = adaptive.status()["sched"]
+        assert set(block) == set(ZERO_SCHED)
+        assert block["scheduler"] == "adaptive"
+    finally:
+        adaptive.stop()
+
+
+# ------------------------------------------------- pickle-penalty cliff
+
+
+def test_pickle_cliff_warns_once_and_reports_penalty(
+    monkeypatch, all_policies, good_elf
+):
+    import repro.service.batch as batch_mod
+
+    monkeypatch.setattr(batch_mod, "PICKLE_WARN_BYTES", 1024)
+    inspector = BatchInspector(
+        all_policies, mode="process", workers=2, shared_memory=False,
+        cache=False,
+    )
+    with pytest.warns(RuntimeWarning, match="shared_memory"):
+        report = inspector.inspect_batch([("a", good_elf)])
+    assert report.summary.dispatch["pickle_penalty_seconds"] > 0
+    # warn-once: the second batch stays quiet but keeps accounting
+    import warnings as _warnings
+
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error")
+        again = inspector.inspect_batch([("b", good_elf)])
+    assert again.summary.dispatch["pickle_penalty_seconds"] > 0
+    inspector.close()
+
+    # the zero-copy path never pays it
+    with BatchInspector(
+        all_policies, mode="process", workers=2, cache=False,
+    ) as zero_copy:
+        clean = zero_copy.inspect_batch([("a", good_elf)])
+    assert clean.summary.dispatch["pickle_penalty_seconds"] == 0.0
